@@ -1,0 +1,47 @@
+"""Ablation — polling vs interrupt progress on the Field stressmark.
+
+The paper attributes Field's GM-only gains to missing communication/
+computation overlap (sections 4.6 vs 4.7).  This ablation isolates the
+mechanism: run Field on the *same* GM cost model, flipping only the
+progress engine.  If the explanation is right, the interrupt variant's
+improvement must collapse toward LAPI-like levels even though every
+other GM parameter (bandwidth, overheads, RDMA costs) is unchanged.
+"""
+
+from dataclasses import replace as dc_replace
+
+from repro.network import GM_MARENOSTRUM, INTERRUPT
+from repro.workloads import FieldParams, run_field
+
+
+def _improvement(machine) -> float:
+    kw = dict(machine=machine, nthreads=32, threads_per_node=4,
+              seed=1, nelems=32 * 1024, ntokens=8)
+    on = run_field(FieldParams(cache_enabled=True, **kw))
+    off = run_field(FieldParams(cache_enabled=False, **kw))
+    assert on.check == off.check
+    return 100 * (1 - on.elapsed_us / off.elapsed_us)
+
+
+def test_progress_engine_ablation(benchmark):
+    gm_interrupt = dc_replace(
+        GM_MARENOSTRUM,
+        transport=GM_MARENOSTRUM.transport.with_overrides(
+            progress=INTERRUPT))
+
+    def run_both():
+        return {
+            "polling (real GM)": _improvement(GM_MARENOSTRUM),
+            "interrupt (ablated GM)": _improvement(gm_interrupt),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("Progress-engine ablation (Field, 32 threads / 8 nodes):")
+    for name, imp in results.items():
+        print(f"  {name:>22}: improvement {imp:5.1f}%")
+    polling = results["polling (real GM)"]
+    interrupt = results["interrupt (ablated GM)"]
+    # The pathology — and hence the cache's Field win — needs polling.
+    assert polling > 10.0
+    assert interrupt < polling / 2

@@ -1,0 +1,50 @@
+"""Ablation — the address cache across all four XLUPC transports.
+
+Section 2 lists TCP/IP sockets, LAPI, Myrinet/GM and the BlueGene/L
+messaging framework as implemented transports.  The cache's benefit is
+a property of the *fabric*: it requires one-sided operations to
+unlock.  This sweep runs the same random-access workload everywhere:
+
+* GM / BG/L — RDMA-capable, polling: solid gains;
+* LAPI — RDMA-capable, interrupt: gains on GETs;
+* TCP — two-sided only: the cache is inert by construction (the
+  negative control; improvement must be ~0).
+"""
+
+from dataclasses import replace
+
+from repro.network import (
+    BGL_TORUS,
+    GM_MARENOSTRUM,
+    LAPI_POWER5,
+    TCP_CLUSTER,
+)
+from repro.workloads import PointerParams, run_pointer
+
+
+def _improvement(machine) -> float:
+    params = PointerParams(
+        machine=machine, nthreads=16,
+        threads_per_node=min(4, machine.default_threads_per_node),
+        nelems=1 << 13, hops=48, seed=1)
+    on = run_pointer(replace(params, cache_enabled=True))
+    off = run_pointer(replace(params, cache_enabled=False))
+    assert on.check == off.check
+    return 100 * (1 - on.elapsed_us / off.elapsed_us)
+
+
+def test_transport_sweep(benchmark):
+    def run_all():
+        return {m.name: _improvement(m)
+                for m in (GM_MARENOSTRUM, LAPI_POWER5, BGL_TORUS,
+                          TCP_CLUSTER)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("Address-cache improvement by transport (Pointer, 16 threads):")
+    for name, imp in results.items():
+        print(f"  {name:>16}: {imp:6.1f}%")
+    assert results["marenostrum-gm"] > 15
+    assert results["bluegene-l"] > 10
+    assert results["power5-lapi"] > 10
+    assert abs(results["tcp-cluster"]) < 1.0  # the negative control

@@ -1,0 +1,19 @@
+"""Ablation — §4.5's memory/speedup compromise in the time domain.
+
+Speedup vs address-cache capacity for the Pointer stressmark: grows
+until the (nodes - 1)-entry working set fits, then saturates — the
+quantitative case for the paper's 100-entry default.
+"""
+
+from repro.experiments.capacity import capacity_speedup
+
+
+def test_capacity_speedup(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: capacity_speedup(threads=64, nodes=16),
+        rounds=1, iterations=1)
+    show(fig)
+    rows = {r["capacity"]: r for r in fig.rows()}
+    assert abs(rows[0]["improvement_pct"]) < 5.0
+    assert rows[16]["improvement_pct"] > 0.85 * rows[100]["improvement_pct"]
+    assert rows[4]["improvement_pct"] < rows[16]["improvement_pct"]

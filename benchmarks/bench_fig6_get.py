@@ -1,0 +1,27 @@
+"""E1 — Figure 6 (left): GET latency improvement vs message size.
+
+Regenerates the paper's GET panel: ~30% (GM) / ~16% (LAPI) for small
+messages, ~40% in the 1-16 KB range, vanishing once bandwidth
+dominates; LAPI's gain persists to megabyte sizes (HPS is 8x faster
+than Myrinet, so fixed-overhead savings matter longer).
+"""
+
+from repro.experiments import fig6_get
+from repro.workloads.micro import FIG6_SIZES
+
+
+def test_fig6_get(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig6_get(sizes=FIG6_SIZES, reps=8),
+        rounds=1, iterations=1)
+    show(fig)
+    rows = {r["size_bytes"]: r for r in fig.rows()}
+    # Shape: GM small ~30, LAPI small ~16.
+    assert 25 <= rows[16]["gm_pct"] <= 40
+    assert 10 <= rows[16]["lapi_pct"] <= 24
+    # Medium-size peak beats the small-message gain.
+    assert rows[16384]["gm_pct"] > rows[1]["gm_pct"]
+    assert rows[65536]["lapi_pct"] > rows[1]["lapi_pct"]
+    # Bandwidth-dominated tail.
+    assert abs(rows[4194304]["gm_pct"]) < 5
+    assert abs(rows[4194304]["lapi_pct"]) < 5

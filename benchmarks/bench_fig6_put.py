@@ -1,0 +1,28 @@
+"""E2 — Figure 6 (right): PUT overhead improvement vs message size.
+
+The famous negative panel: on LAPI, RDMA PUT for small messages is up
+to ~200% *slower* than the default protocol (the HPS trades latency
+for throughput, and the uncached PUT returns at local hand-off while
+the remote CPU overlaps with the next send).  This measurement is why
+the paper disabled the cache for LAPI PUTs.
+"""
+
+from repro.experiments import fig6_put
+from repro.workloads.micro import FIG6_SIZES
+
+
+def test_fig6_put(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig6_put(sizes=FIG6_SIZES, reps=8),
+        rounds=1, iterations=1)
+    show(fig)
+    rows = {r["size_bytes"]: r for r in fig.rows()}
+    # GM: no benefit (and no harm) for small PUTs.
+    assert abs(rows[16]["gm_pct"]) < 15
+    assert abs(rows[1024]["gm_pct"]) < 15
+    # LAPI: deep regression for small PUTs...
+    assert -300 <= rows[16]["lapi_pct"] <= -120
+    # ...recovering and crossing to positive for large transfers.
+    assert rows[262144]["lapi_pct"] > 10
+    # GM gains in the mid-size range (copy avoidance).
+    assert rows[16384]["gm_pct"] > 10

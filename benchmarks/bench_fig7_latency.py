@@ -1,0 +1,28 @@
+"""E3 — Figure 7: absolute GET latency, small messages, both machines.
+
+Paper values for reference: GM ~19-20 µs uncached / ~13 µs cached at
+1 B (rising to ~60/40 µs at 8 KB); LAPI ~10-12 / ~9-10 µs.
+"""
+
+from repro.experiments import fig7
+from repro.workloads.micro import FIG7_SIZES
+
+
+def test_fig7(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig7(sizes=FIG7_SIZES, reps=8),
+        rounds=1, iterations=1)
+    show(fig)
+    rows = {r["size_bytes"]: r for r in fig.rows()}
+    tiny, big = rows[1], rows[8192]
+    # Cached below uncached everywhere.
+    for r in fig.rows():
+        assert r["gm_cache_us"] < r["gm_nocache_us"]
+        assert r["lapi_cache_us"] < r["lapi_nocache_us"]
+    # Absolute scale sanity vs the paper's axes.
+    assert 14 <= tiny["gm_nocache_us"] <= 26
+    assert 8 <= tiny["lapi_nocache_us"] <= 16
+    assert big["gm_nocache_us"] <= 70
+    assert big["lapi_nocache_us"] <= 35
+    # Monotone growth with message size.
+    assert big["gm_nocache_us"] > tiny["gm_nocache_us"]

@@ -1,0 +1,34 @@
+"""E4/E5 — Figure 8: address-cache hit rate vs scale, capacities
+4/10/100.
+
+Pointer (8a) touches random nodes over the whole machine, so its
+working set grows with the node count and small caches collapse early;
+Neighborhood (8b) only ever talks to two partner threads, so a 4-entry
+cache is as good as a 100-entry one at any scale.
+"""
+
+from benchmarks.conftest import FIG8_BENCH_SCALES
+from repro.experiments import fig8
+
+
+def test_fig8a_pointer(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig8("pointer", scales=FIG8_BENCH_SCALES, seed=1),
+        rounds=1, iterations=1)
+    show(fig)
+    for cap in (4, 10, 100):
+        series = fig.series(f"hit_cap{cap}")
+        assert series[0] > series[-1], "hit rate must degrade with scale"
+    last = fig.rows()[-1]
+    assert last["hit_cap4"] < last["hit_cap10"] < last["hit_cap100"]
+
+
+def test_fig8b_neighborhood(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig8("neighborhood", scales=FIG8_BENCH_SCALES, seed=1),
+        rounds=1, iterations=1)
+    show(fig)
+    for cap in (4, 10, 100):
+        series = fig.series(f"hit_cap{cap}")
+        assert min(series) > 0.85
+        assert max(series) - min(series) < 0.08

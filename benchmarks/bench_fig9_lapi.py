@@ -1,0 +1,22 @@
+"""E7 — Figure 9b: DIS stressmark improvement on hybrid LAPI
+(Power5 cluster, up to 16 UPC threads per node).
+
+Pointer/Update/Neighborhood are "comparable to the measurements on
+MareNostrum"; Field is the outlier — LAPI overlaps communication and
+computation, so the address cache has nothing to fix there.
+"""
+
+from benchmarks.conftest import LAPI_BENCH_SCALES
+from repro.experiments import fig9
+
+
+def test_fig9_lapi(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: fig9("lapi", scales=LAPI_BENCH_SCALES, seeds=(1, 2)),
+        rounds=1, iterations=1)
+    show(fig)
+    for row in fig.rows():
+        assert row["pointer"] >= 10
+        assert 4 <= row["update"] <= 28
+        assert 4 <= row["neighborhood"] <= 25
+        assert abs(row["field"]) < 8, "LAPI Field must stay flat (4.7)"

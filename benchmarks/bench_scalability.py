@@ -1,0 +1,45 @@
+"""Ablation — the section-2 scalability rationale, quantified.
+
+Three tables back the paper's design discussion:
+
+* per-node metadata: SVD O(objects) vs full table O(nodes x objects)
+  vs the bounded address cache;
+* address-space consumption under the identical-addresses model the
+  paper rejects ("it tends to fragment the address space");
+* ``upc_all_alloc`` critical-path latency vs machine size (log-tree).
+"""
+
+from repro.experiments.scalability import (
+    address_space_ablation,
+    allocation_latency,
+    directory_memory,
+)
+
+
+def test_directory_memory(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: directory_memory(objects=32), rounds=1, iterations=1)
+    show(fig)
+    rows = fig.rows()
+    assert len({r["svd_bytes"] for r in rows}) == 1   # O(objects)
+    assert rows[-1]["full_table_bytes"] > 1000 * rows[-1]["svd_bytes"]
+    assert rows[-1]["addr_cache_bytes"] <= 100 * 64
+
+
+def test_identical_addresses_ablation(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: address_space_ablation(nodes=16, threads_per_node=4,
+                                       allocs_per_thread=30),
+        rounds=1, iterations=1)
+    show(fig)
+    by_model = {r["model"]: r for r in fig.rows()}
+    assert by_model["identical-addresses"]["blowup_vs_svd"] >= 8.0
+
+
+def test_allocation_latency(benchmark, show):
+    fig = benchmark.pedantic(
+        lambda: allocation_latency(node_counts=[2, 8, 32, 64]),
+        rounds=1, iterations=1)
+    show(fig)
+    rows = fig.rows()
+    assert rows[-1]["per_node_ns"] < rows[0]["per_node_ns"]

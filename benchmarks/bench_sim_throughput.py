@@ -1,0 +1,28 @@
+"""Meta-benchmark: the simulator's own event throughput.
+
+Not a paper figure — this tracks the wall-clock cost of the substrate
+itself (events/second of the discrete-event kernel under a realistic
+workload), so regressions in the hot path (heap ops, process stepping,
+resource bookkeeping) show up in benchmark CI.
+"""
+
+from repro.network import GM_MARENOSTRUM
+from repro.workloads import PointerParams, run_pointer
+
+
+def test_sim_event_throughput(benchmark):
+    params = PointerParams(
+        machine=GM_MARENOSTRUM, nthreads=64, threads_per_node=4,
+        nelems=1 << 13, hops=24, seed=1)
+
+    def run():
+        return run_pointer(params)
+
+    result = benchmark(run)
+    events = result.run.sim_events
+    assert events > 10_000
+    per_sec = events / benchmark.stats["mean"]
+    print(f"\n  simulator throughput: {per_sec:,.0f} events/s "
+          f"({events} events per run)")
+    # Regression guard, generous for slow CI machines.
+    assert per_sec > 5_000

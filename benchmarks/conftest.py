@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Benchmarks run each figure once (``pedantic, rounds=1``): the figures
+are themselves repeated experiments with confidence intervals, and the
+virtual-time results are deterministic — pytest-benchmark here
+measures the *simulator's* wall-clock cost while the printed tables
+carry the reproduced science.
+
+Scales default to a truncated version of the paper's axes so the whole
+suite finishes in a few minutes; set ``REPRO_FULL_SCALE=1`` to sweep
+the full 2048-thread/512-node range (minutes per point).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+#: Truncated sweeps for CI-speed benchmarking.
+GM_BENCH_SCALES = [(8, 2), (32, 8), (128, 32)]
+LAPI_BENCH_SCALES = [(4, 2), (32, 2), (128, 8)]
+FIG8_BENCH_SCALES = [(8, 2), (32, 8), (128, 32), (512, 128)]
+
+if FULL:  # pragma: no cover - opt-in big sweep
+    from repro.experiments import GM_SCALES, LAPI_SCALES
+
+    GM_BENCH_SCALES = GM_SCALES
+    LAPI_BENCH_SCALES = LAPI_SCALES
+    FIG8_BENCH_SCALES = GM_SCALES
+
+
+@pytest.fixture
+def show():
+    """Print a figure table under the benchmark output."""
+    def _show(fig):
+        print()
+        print(fig.render())
+        return fig
+    return _show

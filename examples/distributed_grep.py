@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Distributed token search: the application behind the Field
+stressmark, shown as a real task — finding a byte pattern across a
+sharded corpus.
+
+The corpus is blocked across UPC threads; every thread scans its own
+shard (long local computation) and reads a small *overhang* from the
+next shard to catch matches spanning the boundary.  On a polling
+transport like Myrinet/GM, those overhang reads stall while the
+neighbour's CPU is busy scanning — unless the remote address cache
+turns them into RDMA reads (section 4.6 of the paper).
+
+The example runs the search on both simulated platforms and prints the
+GM-vs-LAPI asymmetry alongside the verified match counts.
+
+Run:  python examples/distributed_grep.py
+"""
+
+import numpy as np
+
+from repro.network import GM_MARENOSTRUM, LAPI_POWER5
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.field import (
+    FieldParams,
+    _count_matches,
+    run_field,
+)
+
+CORPUS_WORDS = 1 << 15
+PATTERN_LEN = 4
+PATTERNS = 6
+NTHREADS = 16
+
+
+def serial_reference(params: FieldParams) -> int:
+    """Count matches with one big NumPy scan (ground truth)."""
+    rng = seeded_rng(params.seed, 0xF1E1D)
+    words = rng.integers(0, params.alphabet, size=params.nelems,
+                         dtype=np.uint64)
+    tokens = [rng.integers(0, params.alphabet, size=params.token_len,
+                           dtype=np.uint64)
+              for _ in range(params.ntokens)]
+    return sum(_count_matches(words, tok) for tok in tokens)
+
+
+def main():
+    print(f"distributed_grep: {PATTERNS} patterns of {PATTERN_LEN} words "
+          f"over a {CORPUS_WORDS}-word corpus, {NTHREADS} threads")
+    print()
+    for machine, tpn in ((GM_MARENOSTRUM, 4), (LAPI_POWER5, 8)):
+        kw = dict(machine=machine, nthreads=NTHREADS,
+                  threads_per_node=tpn, seed=5,
+                  nelems=CORPUS_WORDS, token_len=PATTERN_LEN,
+                  ntokens=PATTERNS)
+        on = run_field(FieldParams(cache_enabled=True, **kw))
+        off = run_field(FieldParams(cache_enabled=False, **kw))
+
+        expect = serial_reference(FieldParams(cache_enabled=True, **kw))
+        found = sum(on.check)
+        assert on.check == off.check
+        assert found == expect, f"expected {expect} matches, got {found}"
+
+        imp = 100 * (off.elapsed_us - on.elapsed_us) / off.elapsed_us
+        print(f"  {machine.name:16s}: {found} matches found ✓   "
+              f"no-cache {off.elapsed_us / 1000:8.2f} ms -> "
+              f"cache {on.elapsed_us / 1000:8.2f} ms   "
+              f"improvement {imp:5.1f}%")
+    print()
+    print("  GM gains a lot (overhang reads stop waiting for the busy")
+    print("  neighbour's CPU); LAPI barely moves — it already overlaps")
+    print("  communication with computation (paper sections 4.6/4.7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""2-D heat diffusion: the class of application Neighborhood stands for.
+
+A Jacobi iteration over a ``ROWS x COLS`` grid distributed row-cyclic
+over UPC threads.  Each sweep, every thread updates its rows using the
+row above and below — the vertical neighbours live on other threads
+(and usually other nodes), so each sweep does two remote row reads per
+owned row: exactly the "pairs of pixels with specific spatial
+relationships" access pattern of the DIS Neighborhood stressmark.
+
+The example checks that the simulated-UPC result matches a serial
+NumPy reference bit-for-bit and reports the address-cache effect —
+small and steady hit set (2 partner nodes), like Figure 8b.
+
+Run:  python examples/heat_stencil.py
+"""
+
+import numpy as np
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+
+ROWS, COLS = 32, 48
+SWEEPS = 4
+NTHREADS = 8
+
+
+def serial_reference(grid0: np.ndarray) -> np.ndarray:
+    """Plain NumPy Jacobi with insulated (copied) boundary rows."""
+    g = grid0.astype(np.float64).reshape(ROWS, COLS)
+    for _ in range(SWEEPS):
+        new = g.copy()
+        new[1:-1, :] = (g[:-2, :] + g[2:, :]) / 2.0
+        g = new
+    return g
+
+
+def kernel(th, grids):
+    """One UPC thread's share of the Jacobi sweeps.
+
+    ``grids`` is a pair of shared arrays (double buffering); values
+    are stored as float64 bit patterns in a u8 array.
+    """
+    src, dst = grids
+    my_rows = list(range(th.id, ROWS, th.nthreads))
+    for sweep in range(SWEEPS):
+        a, b = (src, dst) if sweep % 2 == 0 else (dst, src)
+        for r in my_rows:
+            if r == 0 or r == ROWS - 1:
+                row = yield from th.memget(a, r * COLS, COLS)
+            else:
+                up = yield from th.memget(a, (r - 1) * COLS, COLS)
+                down = yield from th.memget(a, (r + 1) * COLS, COLS)
+                row = ((up.view(np.float64) + down.view(np.float64))
+                       / 2.0).view(np.uint64)
+            yield from th.compute(COLS * 0.02)
+            yield from th.memput(b, r * COLS, row)
+        yield from th.barrier()
+    return None
+
+
+def run(cache_enabled: bool, grid0: np.ndarray):
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=NTHREADS,
+                        threads_per_node=4, cache_enabled=cache_enabled,
+                        seed=7)
+    rt = Runtime(cfg)
+    holder = {}
+
+    def setup_and_run(th):
+        src = yield from th.all_alloc(ROWS * COLS, blocksize=COLS,
+                                      dtype="u8")
+        dst = yield from th.all_alloc(ROWS * COLS, blocksize=COLS,
+                                      dtype="u8")
+        if th.id == 0:
+            src.data[:] = grid0.view(np.uint64)
+            dst.data[:] = grid0.view(np.uint64)
+            holder["final"] = (src, dst)
+        yield from th.barrier()
+        yield from kernel(th, (src, dst))
+
+    rt.spawn(setup_and_run)
+    result = rt.run()
+    src, dst = holder["final"]
+    final = (dst if SWEEPS % 2 else src).data.view(np.float64)
+    return result, final.reshape(ROWS, COLS).copy()
+
+
+def main():
+    rng = np.random.default_rng(123)
+    grid0 = rng.random(ROWS * COLS)
+
+    ref = serial_reference(grid0)
+    off, final_off = run(False, grid0)
+    on, final_on = run(True, grid0)
+
+    assert np.array_equal(final_on, final_off)
+    assert np.allclose(final_on, ref), "UPC result must match serial NumPy"
+
+    imp = 100 * (off.elapsed_us - on.elapsed_us) / off.elapsed_us
+    print(f"heat_stencil: {ROWS}x{COLS} grid, {SWEEPS} Jacobi sweeps, "
+          f"{NTHREADS} threads")
+    print(f"  without cache: {off.elapsed_us:9.1f} us")
+    print(f"  with cache   : {on.elapsed_us:9.1f} us   "
+          f"(improvement {imp:.1f}%)")
+    print(f"  hit rate     : {on.cache_stats.hit_rate:.3f}  "
+          f"(entries learned: {on.cache_stats.insertions} — the stable, "
+          "tiny working set of Figure 8b)")
+    print("  result verified against the serial NumPy reference ✓")
+
+
+if __name__ == "__main__":
+    main()

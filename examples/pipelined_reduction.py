@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Split-phase pipelining: hiding remote latency with communication
+overlap.
+
+A distributed dot-product where every thread needs a scattered slice
+of both vectors.  Three strategies over identical data:
+
+1. blocking GETs, one at a time (the naive port);
+2. split-phase GETs, eight in flight (`th.gather`) — the classic
+   latency-hiding optimization;
+3. split-phase GETs *plus* the remote address cache.
+
+The cache and pipelining compose: pipelining hides wire latency,
+the cache removes target-CPU work — together they approach the
+bandwidth bound.
+
+Run:  python examples/pipelined_reduction.py
+"""
+
+import numpy as np
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+
+N = 4096
+PER_THREAD = 48
+NTHREADS = 16
+
+
+def make_kernel(pipelined: bool, results: dict):
+    def kernel(th):
+        x = yield from th.all_alloc(N, blocksize=64, dtype="u8")
+        y = yield from th.all_alloc(N, blocksize=64, dtype="u8")
+        if th.id == 0:
+            rng = np.random.default_rng(7)
+            x.data[:] = rng.integers(1, 100, N)
+            y.data[:] = rng.integers(1, 100, N)
+        yield from th.barrier()
+        rng = th.rng
+        idxs = [int(rng.integers(N)) for _ in range(PER_THREAD)]
+        t0 = th.runtime.sim.now
+        if pipelined:
+            xs = yield from th.gather(x, idxs, width=8)
+            ys = yield from th.gather(y, idxs, width=8)
+        else:
+            xs, ys = [], []
+            for i in idxs:
+                xs.append((yield from th.get(x, i)))
+                ys.append((yield from th.get(y, i)))
+        partial = sum(int(a) * int(b) for a, b in zip(xs, ys))
+        results.setdefault("op_time", []).append(
+            th.runtime.sim.now - t0)
+        total = yield from th.all_reduce(partial)
+        return total
+
+    return kernel
+
+
+def run(pipelined: bool, cache_enabled: bool):
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=NTHREADS,
+                        threads_per_node=4, cache_enabled=cache_enabled,
+                        seed=13)
+    rt = Runtime(cfg)
+    results = {}
+    procs = rt.spawn(make_kernel(pipelined, results))
+    res = rt.run()
+    dots = {p.value for p in procs}
+    assert len(dots) == 1, "all threads must agree on the dot product"
+    return res.elapsed_us, dots.pop()
+
+
+def main():
+    t_naive, dot1 = run(pipelined=False, cache_enabled=False)
+    t_pipe, dot2 = run(pipelined=True, cache_enabled=False)
+    t_both, dot3 = run(pipelined=True, cache_enabled=True)
+    assert dot1 == dot2 == dot3
+
+    print(f"pipelined_reduction: scattered dot product, {NTHREADS} "
+          f"threads x {PER_THREAD} random elements of two {N}-vectors")
+    print(f"  blocking GETs, no cache      : {t_naive:9.1f} us")
+    print(f"  split-phase x8, no cache     : {t_pipe:9.1f} us  "
+          f"({t_naive / t_pipe:.2f}x)")
+    print(f"  split-phase x8 + addr cache  : {t_both:9.1f} us  "
+          f"({t_naive / t_both:.2f}x)")
+    print(f"  dot product = {dot1} (identical in all three runs ✓)")
+    print()
+    print("  Pipelining hides wire latency; the address cache removes")
+    print("  target-CPU work. They compose.")
+
+
+if __name__ == "__main__":
+    main()

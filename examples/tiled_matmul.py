@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tiled matrix multiply on multiblocked shared arrays.
+
+Multiblocked arrays (section 2.1, citing Barton et al. LCPC 2007) are
+the layout UPC linear-algebra codes use: an N x N matrix is carved
+into tiles dealt round-robin over the threads.  This example computes
+``C = A @ B`` with the owner-computes rule — each thread computes its
+tiles of C, pulling the tiles of A and B it needs with ``memget_row``
+— and verifies the result against NumPy.
+
+The access pattern is stencil-like in tile space: every thread streams
+the same tile row/column repeatedly, so the address-cache working set
+is small and hot (Figure 8b-style), and the cache converts the tile
+fetches into RDMA reads.
+
+Run:  python examples/tiled_matmul.py
+"""
+
+import numpy as np
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+
+N = 16           # matrix dimension
+TILE = 4         # tile edge
+NTHREADS = 8
+
+
+def kernel(th, holder):
+    a = yield from th.all_alloc_matrix(N, N, TILE, TILE, dtype="f8")
+    b = yield from th.all_alloc_matrix(N, N, TILE, TILE, dtype="f8")
+    c = yield from th.all_alloc_matrix(N, N, TILE, TILE, dtype="f8")
+    if th.id == 0:
+        rng = np.random.default_rng(11)
+        holder["A"] = rng.integers(0, 10, (N, N)).astype("f8")
+        holder["B"] = rng.integers(0, 10, (N, N)).astype("f8")
+        a.from_dense(holder["A"])
+        b.from_dense(holder["B"])
+        holder["c"] = c
+    yield from th.barrier()
+
+    tiles = N // TILE
+    for tile in range(tiles * tiles):
+        if tile % th.nthreads != th.id:
+            continue                      # owner-computes
+        ti, tj = divmod(tile, tiles)
+        acc = np.zeros((TILE, TILE))
+        for tk in range(tiles):
+            # Fetch tile (ti, tk) of A and (tk, tj) of B row by row.
+            a_tile = np.empty((TILE, TILE))
+            b_tile = np.empty((TILE, TILE))
+            for dr in range(TILE):
+                a_tile[dr] = yield from th.memget_row(
+                    a, ti * TILE + dr, tk * TILE, TILE)
+                b_tile[dr] = yield from th.memget_row(
+                    b, tk * TILE + dr, tj * TILE, TILE)
+            acc += a_tile @ b_tile
+            yield from th.compute(TILE ** 3 * 0.01)   # the FLOPs
+        for dr in range(TILE):
+            yield from th.memput(
+                c, c.row_segment(ti * TILE + dr, tj * TILE, TILE)[0],
+                acc[dr])
+    yield from th.barrier()
+
+    # A reduction over per-thread tile counts, as a checksum handshake.
+    my_tiles = sum(1 for t in range(tiles * tiles)
+                   if t % th.nthreads == th.id)
+    total = yield from th.all_reduce(my_tiles)
+    assert total == tiles * tiles
+    return my_tiles
+
+
+def run(cache_enabled: bool):
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=NTHREADS,
+                        threads_per_node=4, cache_enabled=cache_enabled,
+                        seed=3)
+    rt = Runtime(cfg)
+    holder = {}
+    rt.spawn(kernel, holder)
+    result = rt.run()
+    return result, holder["c"].to_dense(), holder
+
+
+def main():
+    off, c_off, h = run(False)
+    on, c_on, h2 = run(True)
+
+    expect = h["A"] @ h["B"]
+    assert np.array_equal(c_on, c_off)
+    assert np.allclose(c_off, expect), "distributed result must match numpy"
+
+    imp = 100 * (off.elapsed_us - on.elapsed_us) / off.elapsed_us
+    print(f"tiled_matmul: C = A @ B, {N}x{N} doubles in {TILE}x{TILE} "
+          f"tiles over {NTHREADS} threads")
+    print(f"  without cache: {off.elapsed_us:9.1f} us")
+    print(f"  with cache   : {on.elapsed_us:9.1f} us  "
+          f"(improvement {imp:.1f}%)")
+    print(f"  hit rate     : {on.cache_stats.hit_rate:.3f}   "
+          f"rdma share of remote gets: "
+          f"{on.metrics.rdma_fraction:.2f}")
+    print("  verified against numpy ✓")
+
+
+if __name__ == "__main__":
+    main()

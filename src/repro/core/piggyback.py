@@ -1,0 +1,60 @@
+"""Piggyback strategies for populating the address cache.
+
+Section 3: "We have modified the default (non-RDMA) one-sided
+messaging protocol to retrieve the base address of the remote shared
+object during the transfer by piggybacking it either on the data
+stream or on the ACK message."
+
+Three modes:
+
+``ON_DATA``
+    the base address rides on the GET reply / PUT data message — no
+    extra message, a few extra header bytes (the paper's default, and
+    what both the LAPI and GM integrations in Figure 5 do);
+``ON_ACK``
+    the address rides on the PUT acknowledgement;
+``EXPLICIT``
+    a dedicated address-fetch round trip runs *before* the data
+    transfer (a strawman for the ablation — this is what you would do
+    without protocol integration, and it is strictly worse).
+
+The mode only changes *when* the initiator learns the address and how
+many extra bytes/messages the miss path pays; hits are identical.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PiggybackMode(enum.Enum):
+    ON_DATA = "on-data"
+    ON_ACK = "on-ack"
+    EXPLICIT = "explicit"
+    DISABLED = "disabled"
+
+
+@dataclass(frozen=True)
+class PiggybackConfig:
+    """How the fallback protocol carries remote base addresses."""
+
+    mode: PiggybackMode = PiggybackMode.ON_DATA
+    #: Extra bytes appended to the carrying message.
+    extra_bytes: int = 16
+
+    @property
+    def wants_address(self) -> bool:
+        """Should the fallback protocol request the base address?"""
+        return self.mode is not PiggybackMode.DISABLED
+
+    @property
+    def needs_dedicated_fetch(self) -> bool:
+        return self.mode is PiggybackMode.EXPLICIT
+
+    def reply_extra_bytes(self) -> int:
+        """Bytes added to the data reply (ON_DATA) — other modes add
+        their bytes to control messages that already exist."""
+        if self.mode is PiggybackMode.ON_DATA:
+            return self.extra_bytes
+        return 0

@@ -1,0 +1,70 @@
+"""Pinning policies (section 3.1).
+
+The paper presents the greedy policy and mentions a refined one:
+
+    "(i) the entire memory allocated for a shared object is pinned at
+    once on a particular node. ... (ii) once a shared object is pinned
+    it remains pinned until it is freed."
+
+    "We have successfully implemented a more elaborated technique to
+    deal with [per-call and total pin limits] obtaining similar
+    results."  (the chunked policy below)
+
+A policy decides *what byte range to pin* when a shared object is
+first touched by a remote access.  It returns ranges; the caller
+registers them through the :class:`~repro.core.pinned_table.PinnedAddressTable`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.util.units import MB
+
+
+class PinningPolicy(enum.Enum):
+    """Which part of an object to pin on first remote touch."""
+
+    #: Section 3.1's greedy default: pin the whole object at once.
+    PIN_EVERYTHING = "pin-everything"
+    #: The refined technique: pin fixed-size chunks on demand, so
+    #: per-call and total registration limits are respected.
+    CHUNKED = "chunked"
+
+
+#: Chunk granularity of the CHUNKED policy.  Matches LAPI's per-handle
+#: cap so a chunk always fits in one registered handle.
+DEFAULT_CHUNK_BYTES = 32 * MB
+
+
+def ranges_to_pin(policy: PinningPolicy, obj_vaddr: int, obj_size: int,
+                  touch_offset: int, touch_size: int,
+                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                  ) -> List[Tuple[int, int]]:
+    """Byte ranges to register for a remote touch of
+    ``[touch_offset, touch_offset + touch_size)`` within the object.
+
+    Returns a list of ``(vaddr, size)`` pairs (possibly empty ranges
+    are never returned).
+    """
+    if touch_size <= 0:
+        raise ValueError(f"touch_size must be > 0, got {touch_size}")
+    if touch_offset < 0 or touch_offset + touch_size > obj_size:
+        raise ValueError(
+            f"touch [{touch_offset}, {touch_offset + touch_size}) outside "
+            f"object of {obj_size} bytes"
+        )
+    if policy is PinningPolicy.PIN_EVERYTHING:
+        return [(obj_vaddr, obj_size)]
+    if policy is PinningPolicy.CHUNKED:
+        first = (touch_offset // chunk_bytes) * chunk_bytes
+        last = touch_offset + touch_size - 1
+        out: List[Tuple[int, int]] = []
+        pos = first
+        while pos <= last:
+            size = min(chunk_bytes, obj_size - pos)
+            out.append((obj_vaddr + pos, size))
+            pos += chunk_bytes
+        return out
+    raise ValueError(f"unknown pinning policy {policy!r}")

@@ -1,0 +1,55 @@
+"""Experiment harness: reproduces every evaluation figure.
+
+Index (see DESIGN.md section 4):
+
+* :func:`~repro.experiments.figures.fig6_get` /
+  :func:`~repro.experiments.figures.fig6_put` — latency improvement %
+  vs message size on GM and LAPI;
+* :func:`~repro.experiments.figures.fig7` — absolute small-message GET
+  latencies with/without the cache;
+* :func:`~repro.experiments.figures.fig8` — Pointer/Neighborhood cache
+  hit rate vs scale for cache capacities 4/10/100;
+* :func:`~repro.experiments.figures.fig9` — DIS stressmark improvement
+  vs scale on hybrid GM and hybrid LAPI;
+* :func:`~repro.experiments.figures.miss_overhead` — the section 6
+  claim that failed caching attempts cost <= 2%.
+
+Every runner returns a result object with ``rows()`` (list of dicts)
+and ``render()`` (aligned text table, the shape EXPERIMENTS.md embeds).
+"""
+
+from repro.experiments.harness import (
+    PairedRun,
+    improvement_series,
+    paired_run,
+    repeat_ci,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    GM_SCALES,
+    LAPI_SCALES,
+    fig6_get,
+    fig6_put,
+    fig7,
+    fig8,
+    fig9,
+    miss_overhead,
+)
+from repro.experiments.report import render_table
+
+__all__ = [
+    "PairedRun",
+    "paired_run",
+    "repeat_ci",
+    "improvement_series",
+    "FigureResult",
+    "fig6_get",
+    "fig6_put",
+    "fig7",
+    "fig8",
+    "fig9",
+    "miss_overhead",
+    "GM_SCALES",
+    "LAPI_SCALES",
+    "render_table",
+]

@@ -1,0 +1,53 @@
+"""The section 4.5 memory/speedup compromise, in the time domain.
+
+    "Cache size is an important metric that may affect overall
+    application performance. ... For this kind of applications we have
+    a compromise between memory usage and speedup."
+
+Figure 8 shows the *hit rate* side of that compromise; this experiment
+shows the *speedup* side: improvement % of the Pointer stressmark as a
+function of address-cache capacity, at a fixed machine size.  The
+curve saturates once the capacity covers the (nodes - 1)-entry working
+set — the quantitative backing for the paper's choice of a 100-entry
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.figures import FigureResult, _pointer_params
+from repro.network.params import GM_MARENOSTRUM
+from repro.util.stats import improvement_pct
+from repro.workloads.dis.pointer import run_pointer
+
+
+def capacity_speedup(threads: int = 64, nodes: int = 16,
+                     capacities: Optional[Sequence[int]] = None,
+                     seed: int = 1) -> FigureResult:
+    """Pointer improvement % and hit rate vs cache capacity."""
+    capacities = list(capacities or [0, 2, 4, 8, 10, 16, 32, 100])
+    base_params = _pointer_params(threads, nodes, GM_MARENOSTRUM, seed)
+    baseline = run_pointer(replace(base_params, cache_enabled=False))
+    fig = FigureResult(
+        figure_id="Section 4.5",
+        title=f"Pointer improvement vs cache capacity "
+              f"({threads} threads / {nodes} nodes; working set = "
+              f"{nodes - 1} entries)",
+        columns=["capacity", "hit_rate", "improvement_pct",
+                 "cache_bytes"],
+    )
+    for cap in capacities:
+        cached = run_pointer(replace(base_params, cache_capacity=cap))
+        if cached.check != baseline.check:
+            raise AssertionError("functional divergence in capacity sweep")
+        fig.add(
+            capacity=cap,
+            hit_rate=round(cached.hit_rate, 3),
+            improvement_pct=round(
+                improvement_pct(baseline.elapsed_us, cached.elapsed_us),
+                1),
+            cache_bytes=cap * 64,
+        )
+    return fig

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment results.
+
+The paper's figures become aligned text tables (one row per x-axis
+point, one column per series) that EXPERIMENTS.md embeds verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no data)"
+    widths: List[int] = []
+    for col in columns:
+        w = max(len(col), *(len(_fmt(r.get(col))) for r in rows))
+        widths.append(w)
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(c.rjust(w) for c, w in zip(columns, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for r in rows:
+        out.append("  ".join(_fmt(r.get(c)).rjust(w)
+                             for c, w in zip(columns, widths)))
+    return "\n".join(out)

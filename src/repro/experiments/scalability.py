@@ -1,0 +1,170 @@
+"""Scalability rationale experiments (section 2).
+
+The paper motivates the SVD against two alternatives:
+
+1. *"Ensure that shared objects have the same addresses in all nodes.
+   Unfortunately this approach does not work too well with dynamic
+   objects: it tends to fragment the address space..."*
+2. *"A distributed table of size O(nodes x objects) can be set up to
+   track the addresses of every shared object on every node.  For a
+   large number of nodes or threads, this can be prohibitively
+   expensive..."*
+
+Two experiments quantify those claims with this repository's actual
+structures:
+
+* :func:`directory_memory` — per-node metadata footprint of the SVD
+  (O(objects)) vs the full address table (O(nodes x objects)) vs the
+  bounded address cache, across machine sizes;
+* :func:`address_space_ablation` — per-node virtual-address-space
+  consumption when every allocation must occupy the *same* range on
+  every node (the identical-addresses model) vs the SVD model where
+  each node packs its own heap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.address_cache import DEFAULT_CAPACITY
+from repro.experiments.figures import FigureResult
+from repro.memory.address_space import AddressSpace
+from repro.util.rng import seeded_rng
+
+#: Modelled bytes per directory/table entry (control-block metadata or
+#: one remote address + tag).  The exact constant does not matter for
+#: the asymptotic comparison; 64 B is generous for an address entry.
+ENTRY_BYTES = 64
+
+
+def directory_memory(node_counts: Optional[Sequence[int]] = None,
+                     objects: int = 32) -> FigureResult:
+    """Per-node metadata bytes: SVD vs full table vs address cache.
+
+    ``objects`` is the number of live shared variables — "most UPC
+    applications ... declare a relatively small number of shared
+    variables" (section 4.5).
+    """
+    node_counts = list(node_counts or
+                       [2, 8, 32, 128, 512, 2048, 8192, 65536])
+    fig = FigureResult(
+        figure_id="Section 2",
+        title=f"Per-node metadata bytes for {objects} shared objects",
+        columns=["nodes", "svd_bytes", "full_table_bytes",
+                 "addr_cache_bytes", "table_vs_svd"],
+    )
+    for nodes in node_counts:
+        # SVD replica: one control block per object (+ local address
+        # where applicable) — independent of machine size.
+        svd = objects * ENTRY_BYTES
+        # Full table: every node tracks every object's address on
+        # every node.
+        table = objects * nodes * ENTRY_BYTES
+        # The paper's compromise: a bounded cache (100 entries).
+        cache = min(DEFAULT_CAPACITY, objects * max(0, nodes - 1)) \
+            * ENTRY_BYTES
+        fig.add(nodes=nodes, svd_bytes=svd, full_table_bytes=table,
+                addr_cache_bytes=cache,
+                table_vs_svd=round(table / svd, 1))
+    return fig
+
+
+def address_space_ablation(nodes: int = 16, threads_per_node: int = 4,
+                           allocs_per_thread: int = 40,
+                           alloc_bytes: int = 1 << 20,
+                           churn: float = 0.5,
+                           seed: int = 1) -> FigureResult:
+    """Identical-addresses vs SVD allocation under dynamic churn.
+
+    Every thread repeatedly allocates (and with probability ``churn``
+    frees a random earlier allocation).  Under the identical-addresses
+    model every allocation must reserve the same range on *all* nodes,
+    so one shared arena serves the whole machine and every node's
+    address space is consumed by everyone's allocations and holes.
+    Under the SVD model each node packs only its own objects.
+
+    Reports per-node touched address space and fragmentation for both.
+    """
+    rng = seeded_rng(seed, 0xADD2)
+
+    # SVD model: one private allocator per node.
+    svd_spaces = [AddressSpace(i) for i in range(nodes)]
+    # Identical-address model: a single logical arena (replicated
+    # everywhere, so per-node consumption == arena consumption).
+    ident = AddressSpace(0)
+
+    svd_live: List[List[int]] = [[] for _ in range(nodes)]
+    ident_live: List[int] = []
+
+    for _ in range(allocs_per_thread):
+        for node in range(nodes):
+            for _t in range(threads_per_node):
+                size = int(alloc_bytes * (0.5 + rng.random()))
+                svd_live[node].append(svd_spaces[node].allocate(size))
+                ident_live.append(ident.allocate(size))
+                if svd_live[node] and rng.random() < churn:
+                    k = int(rng.integers(len(svd_live[node])))
+                    svd_spaces[node].free(svd_live[node].pop(k))
+                if ident_live and rng.random() < churn:
+                    k = int(rng.integers(len(ident_live)))
+                    ident.free(ident_live.pop(k))
+
+    svd_touched = max(s._brk - s.base for s in svd_spaces)
+    svd_frag = max(s.fragmentation for s in svd_spaces)
+    ident_touched = ident._brk - ident.base
+    ident_frag = ident.fragmentation
+
+    fig = FigureResult(
+        figure_id="Section 2 (alternative 1)",
+        title="Per-node address-space consumption: identical addresses "
+              "vs SVD",
+        columns=["model", "touched_mb", "fragmentation",
+                 "blowup_vs_svd"],
+    )
+    fig.add(model="svd", touched_mb=round(svd_touched / 2 ** 20, 1),
+            fragmentation=round(svd_frag, 3), blowup_vs_svd=1.0)
+    fig.add(model="identical-addresses",
+            touched_mb=round(ident_touched / 2 ** 20, 1),
+            fragmentation=round(ident_frag, 3),
+            blowup_vs_svd=round(ident_touched / max(1, svd_touched), 1))
+    return fig
+
+
+def allocation_latency(node_counts: Optional[Sequence[int]] = None,
+                       threads_per_node: int = 4) -> FigureResult:
+    """Simulated latency of ``upc_all_alloc`` vs machine size.
+
+    The collective allocation rides a barrier + broadcast tree, so the
+    critical path grows logarithmically — the property that let the
+    design reach BlueGene/L scales [8].
+    """
+    from repro.network.params import GM_MARENOSTRUM
+    from repro.runtime.runtime import Runtime, RuntimeConfig
+
+    node_counts = list(node_counts or [2, 4, 8, 16, 32, 64])
+    fig = FigureResult(
+        figure_id="Section 2 (allocation)",
+        title="upc_all_alloc critical-path latency vs machine size",
+        columns=["nodes", "threads", "alloc_us", "per_node_ns"],
+    )
+    for nodes in node_counts:
+        nthreads = nodes * threads_per_node
+        cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=nthreads,
+                            threads_per_node=threads_per_node, seed=1)
+        rt = Runtime(cfg)
+        marks = {}
+
+        def kernel(th):
+            t0 = th.runtime.sim.now
+            yield from th.all_alloc(4096, blocksize=64, dtype="u8")
+            if th.id == 0:
+                marks["alloc_us"] = th.runtime.sim.now - t0
+            yield from th.barrier()
+
+        rt.spawn(kernel)
+        rt.run()
+        alloc_us = marks["alloc_us"]
+        fig.add(nodes=nodes, threads=nthreads,
+                alloc_us=round(alloc_us, 2),
+                per_node_ns=round(1000 * alloc_us / nodes, 1))
+    return fig

@@ -1,0 +1,39 @@
+"""Per-node memory substrate.
+
+Models the three memory facts the paper's optimization interacts with:
+
+* every node has its **own virtual address space**, so the same shared
+  object has a *different* base address on every node (Figure 2 —
+  that is why remote addresses must be discovered and cached at all);
+* RDMA needs memory **registered/pinned**, an expensive OS operation
+  with platform limits (LAPI: 32 MB per registered handle, GM: 1 GB of
+  DMAable memory on the test machines — sections 3.2 and 3.3);
+* GM-style transports amortize registration with a **pin-down cache**
+  of registered regions with lazy deregistration (section 3.3,
+  citing Tezuka et al.).
+
+This package is pure bookkeeping + cost arithmetic; it never touches
+the simulator clock.  Transports charge the returned costs.
+"""
+
+from repro.memory.errors import (
+    AllocationError,
+    MemoryModelError,
+    NotPinnedError,
+    PinLimitError,
+)
+from repro.memory.address_space import AddressSpace
+from repro.memory.pinning import PinCostModel, PinManager, PinnedRegion
+from repro.memory.registration_cache import RegistrationCache
+
+__all__ = [
+    "AddressSpace",
+    "PinCostModel",
+    "PinManager",
+    "PinnedRegion",
+    "RegistrationCache",
+    "AllocationError",
+    "MemoryModelError",
+    "NotPinnedError",
+    "PinLimitError",
+]

@@ -1,0 +1,130 @@
+"""Progress engines: *when* does the target CPU service an AM handler?
+
+This is the paper's central GM-vs-LAPI behavioural asymmetry:
+
+* **GM / polling** (section 4.6): "the Myrinet/GM transport does not
+  overlap communication and computation.  While a CPU is busy with the
+  local portion of its array the network does not make progress, and
+  other CPUs requesting data are forced into long waits."  A handler
+  runs only once some thread on the node re-enters the runtime.
+
+* **LAPI / interrupt** (section 4.7): "LAPI allows overlap of
+  computation and communication, therefore wait times ... are not
+  excessive even without address cache operation."  Handlers run after
+  a short interrupt latency regardless of what the compute threads do.
+
+RDMA operations never touch a progress engine — that is precisely why
+the remote address cache helps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.node import Node
+from repro.network.params import INTERRUPT, POLLING, TransportParams
+from repro.sim.event import Event
+from repro.sim.simulator import Simulator
+
+
+class ProgressEngine:
+    """Base: grants service opportunities to incoming AM handlers."""
+
+    def __init__(self, sim: Simulator, node: Node,
+                 params: TransportParams) -> None:
+        self.sim = sim
+        self.node = node
+        self.params = params
+        #: Handlers serviced so far (for experiment reporting).
+        self.serviced = 0
+        #: Accumulated time handlers spent waiting for service.
+        self.wait_time = 0.0
+
+    # -- thread-side hooks (only meaningful for polling) ----------------
+
+    def enter_runtime(self) -> None:
+        """A local UPC thread entered the runtime (it now polls)."""
+
+    def leave_runtime(self) -> None:
+        """A local UPC thread left the runtime (stops polling)."""
+
+    def poll(self) -> None:
+        """An explicit progress tick from a local thread."""
+
+    # -- handler-side ----------------------------------------------------
+
+    def service(self):
+        """Generator: wait until a handler may start executing."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class PollingProgress(ProgressEngine):
+    """GM-style: handlers run only while some thread polls the NIC.
+
+    ``enter_runtime``/``leave_runtime`` bracket every blocking runtime
+    call; while the count is positive, arriving handlers are dispatched
+    after ``dispatch_us``.  Otherwise they queue until the next
+    ``enter_runtime``/``poll`` tick — which in the Field stressmark can
+    be a whole compute slice away.
+    """
+
+    def __init__(self, sim: Simulator, node: Node,
+                 params: TransportParams) -> None:
+        super().__init__(sim, node, params)
+        self._pollers = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def pollers(self) -> int:
+        return self._pollers
+
+    def enter_runtime(self) -> None:
+        self._pollers += 1
+        self._wake_all()
+
+    def leave_runtime(self) -> None:
+        if self._pollers <= 0:
+            raise RuntimeError(
+                f"leave_runtime() without enter on node {self.node.id}"
+            )
+        self._pollers -= 1
+
+    def poll(self) -> None:
+        """A momentary progress tick (e.g. between compute slices)."""
+        self._wake_all()
+
+    def _wake_all(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def service(self):
+        t0 = self.sim.now
+        if self._pollers == 0:
+            ev = Event(self.sim, name=f"await-poll[{self.node.id}]")
+            self._waiters.append(ev)
+            yield ev
+        yield self.sim.timeout(self.params.dispatch_us)
+        self.serviced += 1
+        self.wait_time += self.sim.now - t0
+
+
+class InterruptProgress(ProgressEngine):
+    """LAPI-style: handlers run after an interrupt latency, always."""
+
+    def service(self):
+        t0 = self.sim.now
+        yield self.sim.timeout(self.params.interrupt_us)
+        self.serviced += 1
+        self.wait_time += self.sim.now - t0
+
+
+def make_progress(sim: Simulator, node: Node,
+                  params: TransportParams) -> ProgressEngine:
+    """Build the progress engine named by ``params.progress``."""
+    if params.progress == POLLING:
+        return PollingProgress(sim, node, params)
+    if params.progress == INTERRUPT:
+        return InterruptProgress(sim, node, params)
+    raise ValueError(f"unknown progress kind {params.progress!r}")

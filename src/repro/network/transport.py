@@ -1,0 +1,476 @@
+"""Transport protocols: active messages and one-sided RDMA.
+
+The methods here are *generators* meant to be driven inside the
+calling process (``yield from transport.default_get(...)``); they
+charge every cost of the protocol on the virtual clock, in order, and
+return timing-free metadata (handler replies).  Actual data movement
+is performed by the runtime once the protocol generator returns, so a
+transport never sees user bytes.
+
+Two protocol families, mirroring Figures 3 and 5:
+
+* the **default (AM) path** — Figure 3a / Figure 5: a request message
+  triggers a *header handler* on the target CPU (via the node's
+  progress engine) which performs SVD translation, optionally pins the
+  object and piggybacks its base address on the reply;
+* the **RDMA path** — Figure 3b: the initiator already knows the
+  remote address; the transfer is executed by the NICs alone, with no
+  target-CPU involvement.
+
+Eager transfers (≤ ``eager_max_bytes``) pay bounce-buffer copies at
+both ends; larger ones use a rendezvous handshake with registration
+embedded in the protocol phases and a pin-down cache softening the
+cost (section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network import message as wire
+from repro.network.message import MessageLog, WireMessage
+from repro.network.node import Node
+from repro.network.params import TransportParams
+from repro.network.progress import make_progress
+from repro.network.topology import Topology
+from repro.sim.event import Event
+from repro.sim.resource import Resource
+from repro.sim.simulator import Simulator
+
+#: A target-side AM header handler.  Runs at handler-service time on
+#: the target node; must be fast and synchronous.  Returns
+#: ``(cpu_cost_us, reply_payload, extra_reply_bytes)``.
+Handler = Callable[[Node], Tuple[float, Any, int]]
+
+
+@dataclass
+class AMReply:
+    """What the initiator gets back from an AM round trip."""
+
+    payload: Any
+    #: Virtual time at which the reply landed.
+    completed_at: float
+
+
+@dataclass
+class PutTicket:
+    """Result of a PUT: local completion has happened (the issuing
+    process may continue); ``remote_applied`` fires when the bytes are
+    visible at the target (fences/barriers wait on these)."""
+
+    remote_applied: Event
+    nbytes: int
+
+
+@dataclass
+class TransportCounters:
+    """Aggregate traffic statistics, per transport instance."""
+
+    am_requests: int = 0
+    am_replies: int = 0
+    rdma_gets: int = 0
+    rdma_puts: int = 0
+    eager_transfers: int = 0
+    rendezvous_transfers: int = 0
+    bytes_am: int = 0
+    bytes_rdma: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> None:
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class Transport:
+    """One messaging fabric shared by all nodes of a cluster."""
+
+    def __init__(self, sim: Simulator, params: TransportParams,
+                 topology: Topology, nodes: List[Node]) -> None:
+        self.sim = sim
+        self.params = params
+        self.topology = topology
+        self.nodes = nodes
+        self.counters = TransportCounters()
+        #: Optional wire capture (tests/debugging); None = disabled.
+        self.log: Optional[MessageLog] = None
+        #: Per-destination receive-buffer credit pools, lazily built.
+        self._credits: Dict[int, Resource] = {}
+        for node in nodes:
+            node.progress = make_progress(sim, node, params)
+
+    # -- observability / flow control ------------------------------------
+
+    def enable_log(self, max_records: Optional[int] = 100_000) -> MessageLog:
+        """Start capturing wire messages; returns the log."""
+        self.log = MessageLog(max_records=max_records)
+        return self.log
+
+    def _record(self, kind: str, src: Node, dst: Node,
+                nbytes: int) -> None:
+        if self.log is not None:
+            self.log.add(WireMessage(kind=kind, src=src.id, dst=dst.id,
+                                     nbytes=nbytes,
+                                     t_inject=self.sim.now))
+
+    def _credit_pool(self, dst: Node) -> Resource:
+        """Receive-buffer credits guarding eager payloads into ``dst``."""
+        pool = self._credits.get(dst.id)
+        if pool is None:
+            pool = Resource(self.sim, capacity=self.params.eager_credits,
+                            name=f"credits[{dst.id}]")
+            self._credits[dst.id] = pool
+        return pool
+
+    # -- building blocks -------------------------------------------------
+
+    def _inject(self, node: Node, nbytes: int, fragmented: bool):
+        """Occupy ``node``'s NIC while serializing ``nbytes``."""
+        p = self.params
+        frags = p.fragments(nbytes) if fragmented else 1
+        yield node.nic.acquire()
+        try:
+            yield self.sim.timeout(frags * p.nic_gap_us + p.wire_time(nbytes))
+        finally:
+            node.nic.release()
+
+    def _wire(self, src: Node, dst: Node, extra: float = 0.0):
+        """Pure latency of the fabric between two nodes."""
+        lat = self.topology.latency(src.id, dst.id) + extra
+        if lat > 0:
+            yield self.sim.timeout(lat)
+
+    def _run_handler(self, dst: Node, handler: Optional[Handler],
+                     handler_copy_bytes: int = 0,
+                     reply_bytes: int = 0, reply_fragmented: bool = True,
+                     reply_to: Optional[Node] = None):
+        """Wait for service, then execute the header handler on the
+        target CPU.
+
+        Figure 5: the header handler performs the SVD translation,
+        registration, copies *and sends the reply* — all of it target
+        CPU work.  ``reply_bytes`` > 0 injects the reply while the CPU
+        is held, which is what makes a busy target a bottleneck for
+        everyone ("four threads competing for the same network
+        device", section 4.6).
+
+        Returns the handler's reply payload and the extra bytes it
+        appended to the reply.
+        """
+        p = self.params
+        assert dst.progress is not None
+        yield from dst.progress.service()
+        if reply_bytes and reply_to is not None:
+            # Eager payload toward the initiator: reserve one of its
+            # receive-buffer credits *before* taking the handler CPU.
+            # Credits are released by main threads (the initiator's
+            # receive path), so the handler CPU never blocks on a
+            # resource whose release needs another handler CPU — the
+            # ordering that would otherwise deadlock two busy nodes
+            # exchanging eager traffic.
+            yield self._credit_pool(reply_to).acquire()
+        yield dst.handler_cpu.acquire()
+        try:
+            cost = p.handler_cpu_us
+            payload: Any = None
+            extra_bytes = 0
+            if handler is not None:
+                h_cost, payload, extra_bytes = handler(dst)
+                cost += h_cost
+            if handler_copy_bytes:
+                cost += p.copy_time(handler_copy_bytes)
+            yield self.sim.timeout(cost)
+            if reply_bytes:
+                yield self.sim.timeout(p.o_send_us)
+                yield from self._inject(dst, reply_bytes + extra_bytes,
+                                        fragmented=reply_fragmented)
+        except BaseException:
+            if reply_bytes and reply_to is not None:
+                # The reply will never be sent; return the credit.
+                self._credit_pool(reply_to).release()
+            raise
+        finally:
+            dst.handler_cpu.release()
+        return payload, extra_bytes
+
+    # -- default (AM) protocols -------------------------------------------
+
+    def default_get(self, src: Node, dst: Node, nbytes: int,
+                    handler: Optional[Handler] = None,
+                    src_addr: Optional[int] = None,
+                    dst_addr: Optional[int] = None):
+        """Figure 3a: Request-To-Send, handler on target, data reply.
+
+        ``src_addr``/``dst_addr`` identify the user buffers for
+        rendezvous registration accounting (default: node heap base).
+        Returns :class:`AMReply` whose payload is the handler's reply
+        (the runtime piggybacks the remote base address here).
+        """
+        p = self.params
+        self.counters.am_requests += 1
+        self.counters.bytes_am += nbytes + 2 * p.ctrl_bytes
+        if nbytes <= p.eager_max_bytes:
+            payload = yield from self._eager_get(src, dst, nbytes, handler)
+        else:
+            payload = yield from self._rendezvous_get(
+                src, dst, nbytes, handler,
+                src_addr if src_addr is not None else src.memory.base,
+                dst_addr if dst_addr is not None else dst.memory.base)
+        self.counters.am_replies += 1
+        return AMReply(payload=payload, completed_at=self.sim.now)
+
+    def _eager_get(self, src: Node, dst: Node, nbytes: int,
+                   handler: Optional[Handler]):
+        p = self.params
+        self.counters.eager_transfers += 1
+        # Request.
+        yield self.sim.timeout(p.o_send_us)
+        self._record(wire.AM_REQUEST, src, dst, p.ctrl_bytes)
+        yield from self._inject(src, p.ctrl_bytes, fragmented=False)
+        yield from self._wire(src, dst)
+        # Target: handler + bounce copy + reply injection, all on the
+        # target CPU (Figure 5).
+        payload, extra = yield from self._run_handler(
+            dst, handler, handler_copy_bytes=nbytes,
+            reply_bytes=nbytes + p.ctrl_bytes, reply_fragmented=True,
+            reply_to=src)
+        # Logged post-injection so timestamp and piggyback bytes are
+        # the ones actually on the wire.
+        self._record(wire.AM_REPLY, dst, src, nbytes + p.ctrl_bytes + extra)
+        yield from self._wire(dst, src)
+        # Initiator: receive + copy out of the bounce buffer, then
+        # return the receive-buffer credit to the pool.
+        yield self.sim.timeout(p.o_recv_us + p.copy_time(nbytes))
+        self._credit_pool(src).release()
+        return payload
+
+    def _rendezvous_get(self, src: Node, dst: Node, nbytes: int,
+                        handler: Optional[Handler],
+                        src_addr: int, dst_addr: int):
+        p = self.params
+        self.counters.rendezvous_transfers += 1
+        # RTS.
+        yield self.sim.timeout(p.o_send_us + p.rendezvous_cpu_us)
+        reg_cost = src.reg_cache.register(src_addr, nbytes)
+        if reg_cost:
+            yield self.sim.timeout(reg_cost)
+        self._record(wire.RTS, src, dst, p.ctrl_bytes)
+        yield from self._inject(src, p.ctrl_bytes, fragmented=False)
+        yield from self._wire(src, dst)
+        # Target: handler, registration of the served region and the
+        # zero-copy send — all target-CPU work (Figure 5b).
+        assert dst.progress is not None
+        yield from dst.progress.service()
+        yield dst.handler_cpu.acquire()
+        try:
+            cost = p.handler_cpu_us + p.rendezvous_cpu_us
+            payload: Any = None
+            extra = 0
+            if handler is not None:
+                h_cost, payload, extra = handler(dst)
+                cost += h_cost
+            cost += dst.reg_cache.register(dst_addr, nbytes)
+            yield self.sim.timeout(cost + p.o_send_us)
+            self._record(wire.RDV_DATA, dst, src,
+                         nbytes + p.ctrl_bytes + extra)
+            yield from self._inject(dst, nbytes + p.ctrl_bytes + extra,
+                                    fragmented=False)
+        finally:
+            dst.handler_cpu.release()
+        yield from self._wire(dst, src)
+        # Initiator completion (no copies: the NIC delivered in place).
+        yield self.sim.timeout(p.o_recv_us)
+        return payload
+
+    def default_put(self, src: Node, dst: Node, nbytes: int,
+                    handler: Optional[Handler] = None,
+                    src_addr: Optional[int] = None,
+                    dst_addr: Optional[int] = None):
+        """Figure 3a mirrored: the initiator is done at local hand-off;
+        target-side processing overlaps with whatever the initiator
+        does next.  Returns a :class:`PutTicket`."""
+        p = self.params
+        self.counters.am_requests += 1
+        # Eager: data+header message.  Rendezvous: RTS + CTS + data.
+        self.counters.bytes_am += nbytes + (
+            p.ctrl_bytes if nbytes <= p.eager_max_bytes
+            else 2 * p.ctrl_bytes)
+        remote_applied = Event(self.sim, name="put-applied")
+        if src_addr is None:
+            src_addr = src.memory.base
+        if dst_addr is None:
+            dst_addr = dst.memory.base
+        if nbytes <= p.eager_max_bytes:
+            self.counters.eager_transfers += 1
+            # Local side: software overhead, bounce copy, a receive
+            # credit at the destination, injection.
+            yield self.sim.timeout(p.o_send_us + p.copy_time(nbytes))
+            yield self._credit_pool(dst).acquire()
+            self._record(wire.PUT_DATA, src, dst, nbytes + p.ctrl_bytes)
+            yield from self._inject(src, nbytes + p.ctrl_bytes,
+                                    fragmented=True)
+            # Remote side continues without the initiator.
+            self.sim.process(
+                self._put_tail(src, dst, nbytes, handler, remote_applied,
+                               copy_at_target=True, credit=True),
+                name="put-tail",
+            )
+        else:
+            self.counters.rendezvous_transfers += 1
+            # RTS/CTS handshake happens synchronously (rendezvous).
+            yield self.sim.timeout(p.o_send_us + p.rendezvous_cpu_us)
+            reg_cost = src.reg_cache.register(src_addr, nbytes)
+            if reg_cost:
+                yield self.sim.timeout(reg_cost)
+            self._record(wire.RTS, src, dst, p.ctrl_bytes)
+            yield from self._inject(src, p.ctrl_bytes, fragmented=False)
+            yield from self._wire(src, dst)
+            # Target-side work (handler + registration + CTS send) is
+            # all CPU work there — serialized on the handler CPU,
+            # symmetric with the rendezvous GET path.
+            assert dst.progress is not None
+            yield from dst.progress.service()
+            yield dst.handler_cpu.acquire()
+            try:
+                cost = p.handler_cpu_us
+                if handler is not None:
+                    h_cost, _, _ = handler(dst)
+                    cost += h_cost
+                cost += dst.reg_cache.register(dst_addr, nbytes)
+                yield self.sim.timeout(cost + p.o_send_us)
+                self._record(wire.CTS, dst, src, p.ctrl_bytes)
+                yield from self._inject(dst, p.ctrl_bytes, fragmented=False)
+            finally:
+                dst.handler_cpu.release()
+            yield from self._wire(dst, src)
+            yield self.sim.timeout(p.o_recv_us)
+            # Zero-copy data injection; local completion at hand-off.
+            self._record(wire.RDV_DATA, src, dst, nbytes)
+            yield from self._inject(src, nbytes, fragmented=False)
+            self.sim.process(
+                self._put_tail(src, dst, nbytes, None, remote_applied,
+                               copy_at_target=False),
+                name="put-tail",
+            )
+        return PutTicket(remote_applied=remote_applied, nbytes=nbytes)
+
+    def _put_tail(self, src: Node, dst: Node, nbytes: int,
+                  handler: Optional[Handler], remote_applied: Event,
+                  copy_at_target: bool, credit: bool = False):
+        """Target-side continuation of a PUT (runs as its own process).
+
+        Credit return and completion signalling are exception-safe: a
+        crashing handler must not leak the receive buffer nor leave
+        the initiator's fence waiting forever.
+        """
+        try:
+            yield from self._wire(src, dst)
+            if handler is not None or copy_at_target:
+                yield from self._run_handler(
+                    dst, handler,
+                    handler_copy_bytes=nbytes if copy_at_target else 0)
+        except BaseException:
+            # Detached process: make the failure visible in counters
+            # before it lands in the (unobserved) process event.
+            self.counters.bump("put-tail-error")
+            raise
+        finally:
+            if credit:
+                # The target consumed the eager buffer either way.
+                self._credit_pool(dst).release()
+            remote_applied.succeed(self.sim.now)
+
+    def am_oneway(self, src: Node, dst: Node, nbytes: int,
+                  handler: Optional[Handler] = None) -> Event:
+        """Fire-and-forget control message (SVD update notifications).
+
+        Charged asynchronously: the *caller* pays nothing on its own
+        clock; returns an event firing when the target processed it.
+        """
+        self.counters.am_requests += 1
+        self.counters.bytes_am += nbytes
+        done = Event(self.sim, name="oneway-done")
+
+        def _fly():
+            yield self.sim.timeout(self.params.o_send_us)
+            yield self._credit_pool(dst).acquire()
+            try:
+                self._record(wire.ONEWAY, src, dst, nbytes)
+                yield from self._inject(src, nbytes, fragmented=True)
+                yield from self._wire(src, dst)
+                yield from self._run_handler(dst, handler)
+            finally:
+                self._credit_pool(dst).release()
+                done.succeed(self.sim.now)
+
+        self.sim.process(_fly(), name="am-oneway")
+        return done
+
+    # -- RDMA protocols ----------------------------------------------------
+
+    def rdma_get(self, src: Node, dst: Node, nbytes: int):
+        """Figure 3b: one-sided read.  No target CPU involvement — the
+        response is served by the target NIC's DMA engine."""
+        p = self.params
+        self.counters.rdma_gets += 1
+        self.counters.bytes_rdma += nbytes
+        yield self.sim.timeout(p.rdma_init_us)
+        self._record(wire.RDMA_READ, src, dst, p.ctrl_bytes)
+        yield from self._inject(src, p.ctrl_bytes, fragmented=False)
+        yield from self._wire(src, dst, extra=p.rdma_get_premium_us)
+        # Target NIC serializes the response (DMA, no CPU, no credits
+        # — the data lands directly in registered user memory).
+        self._record(wire.RDMA_READ_RESP, dst, src, nbytes)
+        yield dst.nic.acquire()
+        try:
+            yield self.sim.timeout(p.nic_gap_us + p.wire_time(nbytes))
+        finally:
+            dst.nic.release()
+        yield from self._wire(dst, src)
+        yield self.sim.timeout(p.rdma_completion_us)
+
+    def rdma_put(self, src: Node, dst: Node, nbytes: int):
+        """Figure 3b mirrored.  On GM local completion happens at
+        injection; on HPS/LAPI the initiator waits for the fabric-level
+        acknowledgement (``rdma_put_waits_remote``) — the mechanism
+        behind Figure 6's PUT regression."""
+        p = self.params
+        self.counters.rdma_puts += 1
+        self.counters.bytes_rdma += nbytes
+        remote_applied = Event(self.sim, name="rdma-put-applied")
+        yield self.sim.timeout(p.rdma_init_us)
+        self._record(wire.RDMA_WRITE, src, dst, nbytes + p.ctrl_bytes)
+        yield from self._inject(src, nbytes + p.ctrl_bytes, fragmented=False)
+        if p.rdma_put_waits_remote:
+            yield from self._wire(src, dst, extra=p.rdma_put_premium_us)
+            remote_applied.succeed(self.sim.now)
+            yield from self._wire(dst, src)  # hardware ack
+            yield self.sim.timeout(p.rdma_completion_us)
+        else:
+            yield self.sim.timeout(p.rdma_completion_us)
+
+            def _tail():
+                yield from self._wire(src, dst, extra=p.rdma_put_premium_us)
+                remote_applied.succeed(self.sim.now)
+
+            self.sim.process(_tail(), name="rdma-put-tail")
+        return PutTicket(remote_applied=remote_applied, nbytes=nbytes)
+
+
+class GMTransport(Transport):
+    """Myrinet/GM flavour (section 3.3).
+
+    Behaviour is fully captured by :data:`repro.network.params.GM_TRANSPORT`:
+    polling progress, 16 KB eager cut-over, registration embedded in
+    rendezvous with a pin-down cache, cheap RDMA with local PUT
+    completion, 1 GB DMAable-memory cap.
+    """
+
+
+class LAPITransport(Transport):
+    """LAPI/HPS flavour (section 3.2).
+
+    Captured by :data:`repro.network.params.LAPI_TRANSPORT`: interrupt
+    progress (communication/computation overlap), 8x Myrinet bandwidth,
+    RDMA latency premium with remote-ack PUT completion, 32 MB
+    registered-handle cap.
+    """

@@ -1,0 +1,19 @@
+"""Exceptions raised by the XLUPC runtime model."""
+
+from __future__ import annotations
+
+
+class UPCRuntimeError(RuntimeError):
+    """Base class for runtime misuse."""
+
+
+class SVDError(UPCRuntimeError):
+    """Unknown handle, partition misuse, or single-writer violation."""
+
+
+class LayoutError(UPCRuntimeError):
+    """Bad block-cyclic layout parameters or out-of-range index."""
+
+
+class AffinityError(UPCRuntimeError):
+    """An operation was issued against the wrong thread/node."""

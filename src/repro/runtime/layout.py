@@ -1,0 +1,134 @@
+"""Block-cyclic data layouts (section 2.1).
+
+    "Shared arrays are distributed in a block-cyclic fashion among the
+    threads, so different pieces of the array have affinity to
+    different threads."
+
+The layout is pure arithmetic shared by every node: ownership and
+local offsets are computable anywhere, which is precisely what lets a
+cache hit compute ``base address + offset`` on the initiator node.
+
+Local storage convention (mirrors XLUPC's per-node arenas): each
+thread owns ``ceil(nblocks / nthreads)`` block slots of ``blocksize``
+elements laid out contiguously; a node's arena concatenates the chunks
+of its resident threads.  The *node base address* of that arena is the
+thing the remote address cache stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """Distribution of ``nelems`` elements over ``nthreads`` threads."""
+
+    nelems: int
+    elem_size: int
+    blocksize: int
+    nthreads: int
+
+    def __post_init__(self) -> None:
+        if self.nelems <= 0:
+            raise LayoutError(f"nelems must be > 0, got {self.nelems}")
+        if self.elem_size <= 0:
+            raise LayoutError(f"elem_size must be > 0, got {self.elem_size}")
+        if self.blocksize <= 0:
+            raise LayoutError(f"blocksize must be > 0, got {self.blocksize}")
+        if self.nthreads <= 0:
+            raise LayoutError(f"nthreads must be > 0, got {self.nthreads}")
+
+    # -- block arithmetic ------------------------------------------------
+
+    @property
+    def nblocks(self) -> int:
+        return -(-self.nelems // self.blocksize)
+
+    @property
+    def max_blocks_per_thread(self) -> int:
+        """Block slots reserved per thread (uniform arena sizing)."""
+        return -(-self.nblocks // self.nthreads)
+
+    @property
+    def thread_chunk_elems(self) -> int:
+        """Capacity (in elements) of one thread's local chunk."""
+        return self.max_blocks_per_thread * self.blocksize
+
+    @property
+    def thread_chunk_bytes(self) -> int:
+        return self.thread_chunk_elems * self.elem_size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.nelems:
+            raise LayoutError(
+                f"index {index} out of range [0, {self.nelems})")
+
+    def thread_of(self, index: int) -> int:
+        """Affinity: which UPC thread owns element ``index``."""
+        self._check(index)
+        return (index // self.blocksize) % self.nthreads
+
+    def phase_of(self, index: int) -> int:
+        """Position within the block (UPC ``upc_phaseof``)."""
+        self._check(index)
+        return index % self.blocksize
+
+    def block_of(self, index: int) -> int:
+        """Global block number of element ``index``."""
+        self._check(index)
+        return index // self.blocksize
+
+    def local_index(self, index: int) -> int:
+        """Element offset within the owner thread's local chunk."""
+        self._check(index)
+        course = self.block_of(index) // self.nthreads  # block row
+        return course * self.blocksize + self.phase_of(index)
+
+    def local_offset_bytes(self, index: int) -> int:
+        return self.local_index(index) * self.elem_size
+
+    def elems_of_thread(self, thread: int) -> int:
+        """How many real elements thread ``thread`` owns."""
+        if not 0 <= thread < self.nthreads:
+            raise LayoutError(f"thread {thread} out of range")
+        count = 0
+        full_rounds, rem_blocks = divmod(self.nblocks, self.nthreads)
+        count = full_rounds * self.blocksize
+        if thread < rem_blocks:
+            count += self.blocksize
+        # The very last block may be partial.
+        last_block = self.nblocks - 1
+        if self.thread_of(last_block * self.blocksize) == thread:
+            tail = self.nelems - last_block * self.blocksize
+            count -= self.blocksize - tail
+        return count
+
+    def contiguous_span(self, index: int, nelems: int) -> bool:
+        """True if ``[index, index+nelems)`` lives inside one block
+        (hence is contiguous both globally and locally)."""
+        self._check(index)
+        if nelems <= 0:
+            raise LayoutError(f"nelems must be > 0, got {nelems}")
+        self._check(index + nelems - 1)
+        return self.block_of(index) == self.block_of(index + nelems - 1)
+
+
+def blocked_layout(nelems: int, elem_size: int,
+                   nthreads: int) -> BlockCyclicLayout:
+    """The pure-blocked distribution the Field stressmark uses: "the
+    string array is blocked in memory (i.e. with a block size of
+    ceil(N/THREADS))" (section 4.4)."""
+    blocksize = -(-nelems // nthreads)
+    return BlockCyclicLayout(nelems=nelems, elem_size=elem_size,
+                             blocksize=blocksize, nthreads=nthreads)
+
+
+def cyclic_layout(nelems: int, elem_size: int,
+                  nthreads: int) -> BlockCyclicLayout:
+    """Element-cyclic distribution (blocksize 1) — UPC's default for
+    ``shared int a[N]``."""
+    return BlockCyclicLayout(nelems=nelems, elem_size=elem_size,
+                             blocksize=1, nthreads=nthreads)

@@ -1,0 +1,96 @@
+"""Per-run metrics collected by the runtime.
+
+The experiment harness consumes these to produce the paper's numbers:
+execution-time improvements (Figures 6, 9), cache hit rates
+(Figure 8), and the miss-overhead claim of section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.stats import CacheStats
+from repro.util.quantiles import LatencyDigest
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class RuntimeMetrics:
+    """Operation-level accounting for one runtime instance."""
+
+    #: Latency (µs) of blocking GETs, by resolution class.
+    get_local: RunningStats = field(default_factory=RunningStats)
+    get_shm: RunningStats = field(default_factory=RunningStats)
+    get_remote: RunningStats = field(default_factory=RunningStats)
+    #: Initiator-visible latency of PUTs.
+    put_local: RunningStats = field(default_factory=RunningStats)
+    put_shm: RunningStats = field(default_factory=RunningStats)
+    put_remote: RunningStats = field(default_factory=RunningStats)
+    #: Streaming percentiles of remote GET latency (P² estimators) —
+    #: the tail view that exposed Field's overhang waits (§4.6).
+    get_remote_digest: LatencyDigest = field(default_factory=LatencyDigest)
+
+    #: Remote ops by protocol actually used.
+    rdma_gets: int = 0
+    rdma_puts: int = 0
+    am_gets: int = 0
+    am_puts: int = 0
+
+    barriers: int = 0
+    allocations: int = 0
+    frees: int = 0
+    lock_acquires: int = 0
+
+    compute_time_us: float = 0.0
+
+    def record_get(self, kind: str, latency_us: float) -> None:
+        {"local": self.get_local, "shm": self.get_shm,
+         "remote": self.get_remote}[kind].add(latency_us)
+        if kind == "remote":
+            self.get_remote_digest.add(latency_us)
+
+    def record_put(self, kind: str, latency_us: float) -> None:
+        {"local": self.put_local, "shm": self.put_shm,
+         "remote": self.put_remote}[kind].add(latency_us)
+
+    @property
+    def remote_ops(self) -> int:
+        return self.rdma_gets + self.rdma_puts + self.am_gets + self.am_puts
+
+    @property
+    def rdma_fraction(self) -> float:
+        """Share of remote operations that went over RDMA — a direct
+        view of how effective the address cache was."""
+        n = self.remote_ops
+        return (self.rdma_gets + self.rdma_puts) / n if n else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "remote_gets": self.get_remote.n,
+            "remote_get_mean_us": self.get_remote.mean,
+            "remote_puts": self.put_remote.n,
+            "remote_put_mean_us": self.put_remote.mean,
+            "shm_accesses": self.get_shm.n + self.put_shm.n,
+            "local_accesses": self.get_local.n + self.put_local.n,
+            "rdma_fraction": self.rdma_fraction,
+            "barriers": self.barriers,
+            "compute_time_us": self.compute_time_us,
+        }
+
+
+@dataclass
+class RunResult:
+    """What :meth:`repro.runtime.runtime.Runtime.run` returns."""
+
+    elapsed_us: float
+    metrics: RuntimeMetrics
+    cache_stats: CacheStats
+    #: Events the simulator processed (sim-performance visibility).
+    sim_events: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<RunResult {self.elapsed_us:.1f}us "
+                f"remote_ops={self.metrics.remote_ops} "
+                f"hit_rate={self.cache_stats.hit_rate:.2f}>")

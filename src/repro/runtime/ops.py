@@ -1,0 +1,371 @@
+"""Remote access operations: GET and PUT with the address-cache fast
+path (section 3).
+
+Decision tree for every shared access (issued by ``thread``):
+
+1. affine to the issuing thread → **local**: handle deref + load/store;
+2. affine to another thread on the same node → **shared memory**:
+   Pthreads share the arena directly (no network, no cache — the
+   hybrid-mode property discussed in section 4.6);
+3. remote, address cache **hit** → RDMA GET/PUT: the initiator
+   computes ``base + offset`` itself, zero target-CPU involvement
+   (Figure 3b);
+4. remote, **miss** → the default AM protocol (Figure 3a / Figure 5),
+   asking the target's header handler to piggyback the arena's base
+   address so the *next* access to that (handle, node) pair hits.
+
+On the target side the header handler pays the SVD translation and,
+on first touch, pins the object per the configured policy and records
+it in the pinned address table — "before an address can be tagged in
+another node's address cache it needs to be pinned locally" (3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.core.piggyback import PiggybackMode
+from repro.core.policy import ranges_to_pin
+from repro.network.node import Node
+from repro.runtime.shared_array import SharedArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.thread import UPCThread
+
+
+class OpEngine:
+    """Implements GET/PUT against a runtime's cluster + directory."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.rt = runtime
+        self.params = runtime.cluster.params
+
+    # ------------------------------------------------------------------
+    # GET
+    # ------------------------------------------------------------------
+
+    def get(self, thread: "UPCThread", array: SharedArray, index: int,
+            nelems: int = 1):
+        """Blocking read of ``array[index : index+nelems]``.
+
+        Returns a NumPy array of ``nelems`` values (copy).
+        """
+        rt = self.rt
+        sim = rt.sim
+        t0 = sim.now
+        p = self.params
+        self._check_live(array)
+        self._check_one_owner(array, index, nelems)
+        yield sim.timeout(p.o_sw_us)
+
+        owner_thread = array.owner_thread(index)
+        owner_node_id = array.owner_node(index)
+        nbytes = array.span_bytes(nelems)
+
+        if owner_thread == thread.id:
+            yield sim.timeout(p.local_access_us)
+            rt.metrics.record_get("local", sim.now - t0)
+            self._trace(thread, "get:local", t0)
+            return array.read(index, nelems)
+
+        if owner_node_id == thread.node.id:
+            yield sim.timeout(p.shm_access_us + p.copy_time(nbytes))
+            rt.metrics.record_get("shm", sim.now - t0)
+            self._trace(thread, "get:shm", t0)
+            return array.read(index, nelems)
+
+        src = thread.node
+        dst = rt.cluster.node(owner_node_id)
+        # Only *network* operations enter the messaging library — and
+        # with it the polling progress engine.  Local and intra-node
+        # shared-memory accesses are plain loads/stores that never
+        # drive the network (the root of the Field pathology, 4.6).
+        src.progress.enter_runtime()
+        try:
+            proto = yield from self._remote_get(thread, src, dst, array,
+                                                index, nbytes)
+        finally:
+            src.progress.leave_runtime()
+        rt.metrics.record_get("remote", sim.now - t0)
+        self._trace(thread, f"get:{proto}", t0)
+        return array.read(index, nelems)
+
+    def _remote_get(self, thread: "UPCThread", src: Node, dst: Node,
+                    array: SharedArray, index: int, nbytes: int):
+        rt = self.rt
+        sim = rt.sim
+        cache = rt.addr_cache(src.id)
+        base, cost = cache.lookup(array.handle, dst.id)
+        if cost:
+            yield sim.timeout(cost)
+
+        if base is not None:
+            # Fast path (Figure 3b): address known, fire RDMA.
+            rt.metrics.rdma_gets += 1
+            yield from rt.cluster.transport.rdma_get(src, dst, nbytes)
+            return "rdma"
+
+        # Slow path (Figure 3a / Figure 5): default protocol, asking
+        # the target to piggyback its arena base address.
+        rt.metrics.am_gets += 1
+        piggy = rt.config.piggyback
+        if piggy.needs_dedicated_fetch:
+            # Ablation strawman: a separate address-fetch round trip,
+            # then RDMA for the data itself.
+            reply = yield from rt.cluster.transport.default_get(
+                src, dst, self.params.ctrl_bytes,
+                self._make_addr_handler(array, dst, index))
+            if reply.payload is not None:
+                yield sim.timeout(cache.insert(array.handle, dst.id,
+                                               reply.payload))
+            yield from rt.cluster.transport.rdma_get(src, dst, nbytes)
+            return "am"
+
+        handler = self._make_get_handler(
+            array, dst,
+            want_addr=piggy.wants_address and cache.enabled,
+            touch_offset=array.arena_offset(index), touch_bytes=nbytes)
+        _, dst_vaddr = array.addr_of(index)
+        reply = yield from rt.cluster.transport.default_get(
+            src, dst, nbytes, handler,
+            src_addr=src.memory.base, dst_addr=dst_vaddr)
+        if reply.payload is not None:
+            yield sim.timeout(cache.insert(array.handle, dst.id,
+                                           reply.payload))
+        return "am"
+
+    # ------------------------------------------------------------------
+    # PUT
+    # ------------------------------------------------------------------
+
+    def put(self, thread: "UPCThread", array: SharedArray, index: int,
+            values, nelems: Optional[int] = None):
+        """Write ``values`` to ``array[index:...]``.
+
+        Returns once the operation is *locally* complete (the UPC
+        relaxed model); the write lands in the data plane when the
+        target applies it.  Use fence/barrier to order.
+        """
+        rt = self.rt
+        sim = rt.sim
+        p = self.params
+        t0 = sim.now
+        values = np.asarray(values, dtype=array.dtype).ravel()
+        if nelems is None:
+            nelems = len(values)
+        if len(values) != nelems:
+            values = np.resize(values, nelems)
+        self._check_live(array)
+        self._check_one_owner(array, index, nelems)
+        yield sim.timeout(p.o_sw_us)
+
+        owner_thread = array.owner_thread(index)
+        owner_node_id = array.owner_node(index)
+        nbytes = array.span_bytes(nelems)
+
+        if owner_thread == thread.id:
+            yield sim.timeout(p.local_access_us)
+            array.write(index, values)
+            rt.metrics.record_put("local", sim.now - t0)
+            self._trace(thread, "put:local", t0)
+            return
+
+        if owner_node_id == thread.node.id:
+            yield sim.timeout(p.shm_access_us + p.copy_time(nbytes))
+            array.write(index, values)
+            rt.metrics.record_put("shm", sim.now - t0)
+            self._trace(thread, "put:shm", t0)
+            return
+
+        src = thread.node
+        dst = rt.cluster.node(owner_node_id)
+        src.progress.enter_runtime()
+        try:
+            ticket, proto = yield from self._remote_put(
+                thread, src, dst, array, index, values, nbytes)
+        finally:
+            src.progress.leave_runtime()
+        rt.metrics.record_put("remote", sim.now - t0)
+        self._trace(thread, f"put:{proto}", t0)
+        return ticket
+
+    def _remote_put(self, thread: "UPCThread", src: Node, dst: Node,
+                    array: SharedArray, index: int, values: np.ndarray,
+                    nbytes: int):
+        rt = self.rt
+        sim = rt.sim
+        cache = rt.addr_cache(src.id)
+        snapshot = values.copy()
+
+        if rt.use_rdma_put:
+            base, cost = cache.lookup(array.handle, dst.id)
+            if cost:
+                yield sim.timeout(cost)
+            if base is not None:
+                rt.metrics.rdma_puts += 1
+                ticket = yield from rt.cluster.transport.rdma_put(
+                    src, dst, nbytes)
+                self._apply_on(ticket.remote_applied, array, index, snapshot)
+                thread.track_put(ticket.remote_applied)
+                return ticket, "rdma"
+
+        # Default protocol; the ACK piggybacks the address home
+        # (asynchronously — off the initiator's critical path).
+        rt.metrics.am_puts += 1
+        piggy = rt.config.piggyback
+        want_addr = piggy.wants_address and rt.use_rdma_put
+        handler = self._make_get_handler(
+            array, dst, want_addr=want_addr,
+            touch_offset=array.arena_offset(index), touch_bytes=nbytes)
+        _, dst_vaddr = array.addr_of(index)
+        ticket = yield from rt.cluster.transport.default_put(
+            src, dst, nbytes, handler,
+            src_addr=src.memory.base, dst_addr=dst_vaddr)
+        self._apply_on(ticket.remote_applied, array, index, snapshot)
+        thread.track_put(ticket.remote_applied)
+        if want_addr:
+            self._insert_on_ack(ticket.remote_applied, src, dst, array)
+        return ticket, "am"
+
+    def _apply_on(self, remote_applied, array: SharedArray, index: int,
+                  snapshot: np.ndarray) -> None:
+        """Write the snapshot into the data plane when the target
+        observes the put."""
+        remote_applied.add_callback(
+            lambda ev: array.write(index, snapshot))
+
+    def _insert_on_ack(self, remote_applied, src: Node, dst: Node,
+                       array: SharedArray) -> None:
+        """PiggybackMode.ON_ACK path: once the target applied the put,
+        the ACK carries the base address back after one wire latency."""
+        rt = self.rt
+
+        def _tail():
+            yield rt.sim.timeout(
+                rt.cluster.topology.latency(dst.id, src.id))
+            if array.freed:
+                # The object was deallocated while the ack was in
+                # flight; inserting now would resurrect a stale entry
+                # the eager invalidation already removed.
+                return
+            base = self._target_base_addr(array, dst)
+            if base is not None:
+                cache = rt.addr_cache(src.id)
+                cache.insert(array.handle, dst.id, base)
+
+        def _spawn(ev):
+            rt.sim.process(_tail(), name="put-ack-piggyback")
+
+        remote_applied.add_callback(_spawn)
+
+    def _check_one_owner(self, array: SharedArray, index: int,
+                         nelems: int) -> None:
+        """A single GET/PUT must target one affine region; larger
+        spans go through memget/memput, which split per block."""
+        if nelems <= 1 or array.owner is not None:
+            return
+        if not array.layout.contiguous_span(index, nelems):
+            from repro.runtime.errors import AffinityError
+            raise AffinityError(
+                f"span [{index}, {index + nelems}) crosses a block "
+                "boundary; use memget/memput for multi-block transfers")
+
+    def _trace(self, thread: "UPCThread", state: str, t0: float) -> None:
+        tracer = self.rt.config.tracer
+        if tracer is not None:
+            tracer.record(thread.id, state, t0, self.rt.sim.now)
+
+    def _check_live(self, array: SharedArray) -> None:
+        if array.freed:
+            from repro.runtime.errors import SVDError
+            raise SVDError(
+                f"use-after-free: {array.handle} was deallocated")
+
+    # ------------------------------------------------------------------
+    # Target-side handlers
+    # ------------------------------------------------------------------
+
+    def _make_get_handler(self, array: SharedArray, dst: Node,
+                          want_addr: bool, touch_offset: int = 0,
+                          touch_bytes: int = 1):
+        """Header handler run on the target (Figure 5, italic parts):
+        SVD translation + (optionally) pin-and-report-base-address."""
+        rt = self.rt
+        p = self.params
+        piggy = rt.config.piggyback
+
+        def handler(node: Node) -> Tuple[float, Optional[int], int]:
+            replica = rt.svd(node.id)
+            replica.lookup_local(array.handle)  # the unavoidable deref
+            cost = p.svd_lookup_us
+            payload: Optional[int] = None
+            extra = 0
+            if want_addr:
+                pin_cost = self._ensure_pinned(array, node,
+                                               touch_offset, touch_bytes)
+                cost += pin_cost
+                payload = self._target_base_addr(array, node)
+                extra = piggy.reply_extra_bytes()
+            return cost, payload, extra
+
+        return handler
+
+    def _make_addr_handler(self, array: SharedArray, dst: Node,
+                           index: int):
+        """EXPLICIT mode: a handler that *only* translates + pins."""
+        rt = self.rt
+        p = self.params
+        touch_offset = array.arena_offset(index)
+
+        def handler(node: Node) -> Tuple[float, Optional[int], int]:
+            replica = rt.svd(node.id)
+            replica.lookup_local(array.handle)
+            cost = p.svd_lookup_us + self._ensure_pinned(
+                array, node, touch_offset, array.elem_size)
+            return cost, self._target_base_addr(array, node), 0
+
+        return handler
+
+    def _ensure_pinned(self, array: SharedArray, node: Node,
+                       touch_offset: int, touch_bytes: int) -> float:
+        """First-touch pinning per the configured policy (section 3.1):
+        PIN_EVERYTHING registers the whole arena; CHUNKED registers
+        only the chunk(s) containing the touched range."""
+        rt = self.rt
+        base = array.node_base.get(node.id)
+        if base is None:
+            return 0.0
+        size = array.node_bytes[node.id]
+        table = rt.pinned_table(node.id)
+        touch_bytes = min(touch_bytes, size - touch_offset)
+        cost = 0.0
+        for vaddr, span in ranges_to_pin(
+                rt.config.pinning_policy, base, size,
+                touch_offset=touch_offset, touch_size=max(1, touch_bytes),
+                chunk_bytes=rt.config.pin_chunk_bytes):
+            cost += table.register(array.handle, vaddr, span)
+        return cost
+
+    def _target_base_addr(self, array: SharedArray,
+                          node: Node) -> Optional[int]:
+        """The address that goes into remote caches: the *physical*
+        base of this node's arena (RDMA-format, per section 3).
+
+        Under the CHUNKED policy the arena base itself may be unpinned
+        (only touched chunks are registered); the virtual base is then
+        handed out as the cacheable token — the pinned address table
+        resolves chunk physical addresses at transfer time.
+        """
+        base = array.node_base.get(node.id)
+        if base is None:
+            return None
+        phys = rt_phys(self.rt, node, base)
+        return phys if phys is not None else base
+
+
+def rt_phys(rt: "Runtime", node: Node, vaddr: int) -> Optional[int]:
+    """Physical address of ``vaddr`` on ``node`` if pinned, else None."""
+    return rt.pinned_table(node.id).lookup_phys(vaddr)

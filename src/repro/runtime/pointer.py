@@ -1,0 +1,93 @@
+"""Pointers to shared objects and their arithmetic (section 2).
+
+The runtime "performs pointer arithmetic on pointers to shared
+objects".  A UPC pointer-to-shared is the triple
+
+    (thread, phase, block row)
+
+where ``phase`` is the position inside the current block and the
+block row counts how many full distribution rounds precede it.
+Incrementing walks the *global layout order*: through the block, then
+to the same block row on the next thread, wrapping to the next row
+after the last thread — exactly the traversal order of
+``shared [B] T a[N]`` in UPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.errors import LayoutError
+from repro.runtime.layout import BlockCyclicLayout
+
+
+@dataclass(frozen=True)
+class PointerToShared:
+    """A pointer into a block-cyclic shared array."""
+
+    layout: BlockCyclicLayout
+    thread: int
+    phase: int
+    course: int  # block row (how many full rounds of blocks precede)
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_index(layout: BlockCyclicLayout, index: int) -> "PointerToShared":
+        """Pointer to global element ``index``."""
+        if not 0 <= index < layout.nelems:
+            raise LayoutError(f"index {index} out of range")
+        block = index // layout.blocksize
+        return PointerToShared(
+            layout=layout,
+            thread=block % layout.nthreads,
+            phase=index % layout.blocksize,
+            course=block // layout.nthreads,
+        )
+
+    # -- accessors (the upc_* intrinsics) -----------------------------------
+
+    def threadof(self) -> int:
+        """``upc_threadof``: affinity of the pointed-to element."""
+        return self.thread
+
+    def phaseof(self) -> int:
+        """``upc_phaseof``: position within the block."""
+        return self.phase
+
+    def to_index(self) -> int:
+        """Global element index this pointer denotes."""
+        block = self.course * self.layout.nthreads + self.thread
+        index = block * self.layout.blocksize + self.phase
+        if index >= self.layout.nelems:
+            raise LayoutError(f"pointer {self} is past the end")
+        return index
+
+    def local_offset_bytes(self) -> int:
+        """``upc_addrfield``-flavoured: byte offset inside the owner
+        thread's chunk (what gets added to a cached base address)."""
+        return ((self.course * self.layout.blocksize + self.phase)
+                * self.layout.elem_size)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def add(self, k: int) -> "PointerToShared":
+        """``p + k`` in UPC pointer-to-shared arithmetic."""
+        return PointerToShared.from_index(
+            self.layout, self.to_index() + k if k >= 0 else
+            self.to_index() + k)
+
+    def __add__(self, k: int) -> "PointerToShared":
+        return self.add(k)
+
+    def __sub__(self, other) -> int:
+        """Pointer difference in elements (same array only)."""
+        if isinstance(other, PointerToShared):
+            if other.layout != self.layout:
+                raise LayoutError("pointer difference across arrays")
+            return self.to_index() - other.to_index()
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"pts(thread={self.thread}, phase={self.phase}, "
+                f"course={self.course})")

@@ -1,0 +1,54 @@
+"""Shared locks (section 2.1: the runtime "implements ... shared
+locks").
+
+A UPC lock lives on a home node; acquiring it from a remote thread is
+an AM round trip (the home node's CPU arbitrates), so locks feel the
+same polling-progress effects as every other AM — but are *not*
+accelerated by the address cache (they are control, not data).
+Queueing is modelled by a FIFO :class:`~repro.sim.resource.Resource`
+on the home node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.handle import SVDHandle
+from repro.sim.resource import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import Runtime
+
+
+class SharedLock:
+    """One upc_lock_t, homed on ``owner_thread``'s node."""
+
+    def __init__(self, runtime: "Runtime", handle: SVDHandle,
+                 owner_thread: int) -> None:
+        self.runtime = runtime
+        self.handle = handle
+        self.owner_thread = owner_thread
+        self.owner_node = runtime.node_of_thread(owner_thread)
+        self._res = Resource(runtime.sim, capacity=1,
+                             name=f"lock{handle.index}")
+        #: Current holder (thread id) — for debugging and tests.
+        self.holder = None
+        self.acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._res.in_use > 0
+
+    def _grant(self, thread_id: int) -> None:
+        self.holder = thread_id
+        self.acquisitions += 1
+
+    def _release(self, thread_id: int) -> None:
+        if self.holder != thread_id:
+            raise RuntimeError(
+                f"thread {thread_id} unlocking lock held by {self.holder}")
+        self.holder = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SharedLock {self.handle} holder={self.holder} "
+                f"queue={self._res.queue_length}>")

@@ -1,0 +1,97 @@
+"""Processes: generator coroutines driven by the event loop.
+
+A process generator ``yield``\\ s events and is resumed with the event's
+value once it fires::
+
+    def worker(sim, nic):
+        yield nic.acquire()          # wait for the NIC
+        yield sim.timeout(2.5)       # occupy it for 2.5 us
+        nic.release()
+        return "done"
+
+A :class:`Process` is itself an :class:`~repro.sim.event.Event` that
+succeeds with the generator's return value, so processes can wait on
+each other (fork/join) simply by yielding the child process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.sim.errors import ProcessKilled, SimulationError
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import Simulator
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns."""
+
+    __slots__ = ("_gen", "_waiting_on", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(gen).__name__}: {gen!r}."
+                " Did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        self._started = False
+        # First step happens via a zero-delay event so that spawning is
+        # itself an observable point in time and spawn order == run order.
+        kick = Event(sim, name=f"start:{self.name}")
+        kick.add_callback(self._resume)
+        kick.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the generator."""
+        if self.triggered:
+            return
+        self._step(None, ProcessKilled(reason))
+
+    # -- driving ------------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:
+            # The process died (e.g. kill()) while this event was in
+            # flight; drop the stale wakeup.
+            return
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev._value, None)
+        else:
+            self._step(None, ev.exception)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        self._started = True
+        try:
+            if exc is None:
+                target = self._gen.send(value)
+            else:
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as pk:
+            self.fail(pk)
+            return
+        except BaseException as err:
+            # Attach context so deadlocks/crashes are debuggable at scale.
+            err.args = (*err.args, f"[in sim process {self.name!r} at "
+                                   f"t={self.sim.now:.3f}]")
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Events (use 'yield from' for sub-generators)"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,157 @@
+"""Contended resources and mailboxes.
+
+:class:`Resource`
+    A FIFO server with integer capacity.  Used for NICs (capacity 1 per
+    node — the root of the paper's "four threads competing for the same
+    network device" amplification effect, section 4.6), CPUs and DMA
+    engines.  Tracks busy-time and queueing statistics so experiments
+    can report utilization.
+
+:class:`Queue`
+    An unbounded FIFO of items with blocking ``get``.  Used for
+    AM-handler dispatch queues in the progress engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, TYPE_CHECKING
+
+from repro.sim.errors import SimulationError
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import Simulator
+
+from repro.util.stats import RunningStats
+
+
+class Resource:
+    """FIFO resource with ``capacity`` concurrent users.
+
+    Usage from a process::
+
+        yield res.acquire()
+        try:
+            yield sim.timeout(cost)
+        finally:
+            res.release()
+    """
+
+    __slots__ = ("sim", "capacity", "name", "_users", "_waiters",
+                 "_busy_integral", "_last_change", "wait_stats",
+                 "acquisitions")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users = 0
+        self._waiters: Deque[tuple[Event, float]] = deque()
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+        #: Time spent waiting for a grant, per acquisition.
+        self.wait_stats = RunningStats()
+        self.acquisitions = 0
+
+    # -- accounting ---------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self._users * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use over ``[since, now]``."""
+        self._account()
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return self._busy_integral / (span * self.capacity)
+
+    @property
+    def in_use(self) -> int:
+        return self._users
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- protocol -----------------------------------------------------
+
+    def acquire(self) -> Event:
+        """Returns an event that fires when a slot is granted."""
+        ev = Event(self.sim, name=f"acquire:{self.name}")
+        if self._users < self.capacity and not self._waiters:
+            self._account()
+            self._users += 1
+            self.acquisitions += 1
+            self.wait_stats.add(0.0)
+            ev.succeed()
+        else:
+            self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True if granted immediately."""
+        if self._users < self.capacity and not self._waiters:
+            self._account()
+            self._users += 1
+            self.acquisitions += 1
+            self.wait_stats.add(0.0)
+            return True
+        return False
+
+    def release(self) -> None:
+        """Free one slot; grants the oldest waiter, FIFO."""
+        if self._users <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._account()
+        self._users -= 1
+        if self._waiters:
+            ev, enq_t = self._waiters.popleft()
+            self._users += 1
+            self.acquisitions += 1
+            self.wait_stats.add(self.sim.now - enq_t)
+            ev.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Resource {self.name} {self._users}/{self.capacity} "
+                f"queue={len(self._waiters)}>")
+
+
+class Queue:
+    """Unbounded FIFO mailbox with blocking ``get``."""
+
+    __slots__ = ("sim", "name", "_items", "_getters")
+
+    def __init__(self, sim: "Simulator", name: str = "queue") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Queue {self.name} items={len(self._items)} getters={len(self._getters)}>"

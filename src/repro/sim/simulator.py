@@ -1,0 +1,114 @@
+"""The simulator core: virtual clock + event heap.
+
+Times are floats in microseconds.  Events scheduled for the same time
+are processed in schedule order (a monotonically increasing sequence
+number breaks heap ties), which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError
+from repro.sim.event import Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Owns the clock and the pending-event heap."""
+
+    __slots__ = ("now", "_heap", "_seq", "_nevents")
+
+    def __init__(self) -> None:
+        #: Current virtual time in microseconds.
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Total number of events processed (exposed for perf metrics).
+        self._nevents = 0
+
+    # -- factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """An event firing ``delay`` microseconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Spawn a process around generator ``gen``; starts at ``now``."""
+        return Process(self, gen, name=name)
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution ----------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        return self._nevents
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        t, _, event = heapq.heappop(self._heap)
+        self.now = t
+        self._nevents += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed (a runaway guard for tests).
+
+        When stopping at ``until`` the clock is advanced to exactly
+        ``until`` even if no event sits there.
+        """
+        budget = max_events if max_events is not None else -1
+        while self._heap:
+            t = self._heap[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            if budget == 0:
+                raise SimulationError(
+                    f"max_events exhausted at t={self.now:.3f} "
+                    f"({self._nevents} events processed)"
+                )
+            budget -= 1
+            self.step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_process(self, gen: Generator, name: str = "",
+                    max_events: Optional[int] = None) -> Any:
+        """Convenience: spawn ``gen``, run to completion, return value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimulationError` if the queue drained while the process
+        was still blocked (a deadlock in the model).
+        """
+        proc = self.process(gen, name=name)
+        self.run(max_events=max_events)
+        if not proc.triggered:
+            raise SimulationError(
+                f"deadlock: process {proc!r} never completed "
+                f"(queue drained at t={self.now:.3f})"
+            )
+        return proc.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"

@@ -1,0 +1,36 @@
+"""Paraver-style execution tracing (section 4.6 methodology).
+
+    "We analyzed the behavior of this benchmark using the Paraver
+    performance analysis toolkit.  The trace showed that the remote
+    GET and PUT access times at the 'overhangs' were abnormally large
+    when address cache was not in use."
+
+A :class:`~repro.trace.tracer.Tracer` attached to a
+:class:`~repro.runtime.runtime.RuntimeConfig` records per-thread state
+intervals (compute, remote GET/PUT by protocol, barrier, ...);
+:mod:`repro.trace.analysis` answers the questions the paper asked of
+Paraver: where does time go per state, and which operations are
+abnormal outliers.
+"""
+
+from repro.trace.tracer import StateRecord, Tracer
+from repro.trace.analysis import (
+    TraceProfile,
+    find_outliers,
+    profile,
+    render_profile,
+)
+from repro.trace.export import dump_csv, dumps, load_csv, loads
+
+__all__ = [
+    "Tracer",
+    "StateRecord",
+    "TraceProfile",
+    "profile",
+    "find_outliers",
+    "render_profile",
+    "dump_csv",
+    "load_csv",
+    "dumps",
+    "loads",
+]

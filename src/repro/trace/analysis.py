@@ -1,0 +1,57 @@
+"""Trace analysis: the questions the paper asked of Paraver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trace.tracer import StateRecord, Tracer
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class TraceProfile:
+    """Aggregated time-by-state view of a trace."""
+
+    by_state: Dict[str, RunningStats] = field(default_factory=dict)
+    total_time: float = 0.0
+
+    def fraction(self, state: str) -> float:
+        stats = self.by_state.get(state)
+        if stats is None or self.total_time == 0:
+            return 0.0
+        return stats.total / self.total_time
+
+
+def profile(tracer: Tracer) -> TraceProfile:
+    """Time spent per state, across all threads."""
+    out = TraceProfile()
+    for rec in tracer:
+        stats = out.by_state.setdefault(rec.state, RunningStats())
+        stats.add(rec.duration)
+        out.total_time += rec.duration
+    return out
+
+
+def find_outliers(tracer: Tracer, state: str,
+                  factor: float = 4.0) -> List[StateRecord]:
+    """Records of ``state`` lasting more than ``factor`` x the mean —
+    the "abnormally large ... access times" detector of section 4.6."""
+    records = tracer.by_state(state)
+    if not records:
+        return []
+    mean = sum(r.duration for r in records) / len(records)
+    return [r for r in records if r.duration > factor * mean]
+
+
+def render_profile(tracer: Tracer) -> str:
+    """Human-readable time-by-state table."""
+    prof = profile(tracer)
+    lines = [f"{'state':>12} {'count':>7} {'total_us':>12} "
+             f"{'mean_us':>9} {'max_us':>9} {'share':>6}"]
+    for state in sorted(prof.by_state):
+        s = prof.by_state[state]
+        lines.append(
+            f"{state:>12} {s.n:>7} {s.total:>12.1f} {s.mean:>9.2f} "
+            f"{s.max:>9.2f} {prof.fraction(state):>6.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Trace export/import: move simulated traces in and out of files.
+
+The paper's workflow ("We analyzed the behavior ... using the Paraver
+performance analysis toolkit") implies traces on disk.  We export to
+a simple, columnar CSV — one state interval per line — which both
+round-trips through :func:`load_csv` and opens in any spreadsheet or
+pandas for ad-hoc digging.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TextIO, Union
+
+from repro.trace.tracer import StateRecord, Tracer
+
+_HEADER = ["thread", "state", "t0", "t1"]
+
+
+def dump_csv(tracer: Tracer, dest: Union[str, TextIO]) -> int:
+    """Write every record to ``dest`` (path or file object).
+
+    Returns the number of records written.
+    """
+    if isinstance(dest, str):
+        with open(dest, "w", newline="") as fh:
+            return dump_csv(tracer, fh)
+    writer = csv.writer(dest)
+    writer.writerow(_HEADER)
+    n = 0
+    for rec in tracer:
+        writer.writerow([rec.thread, rec.state,
+                         repr(rec.t0), repr(rec.t1)])
+        n += 1
+    return n
+
+
+def load_csv(src: Union[str, TextIO]) -> Tracer:
+    """Read a trace written by :func:`dump_csv`."""
+    if isinstance(src, str):
+        with open(src, newline="") as fh:
+            return load_csv(fh)
+    reader = csv.reader(src)
+    header = next(reader, None)
+    if header != _HEADER:
+        raise ValueError(f"not a trace CSV (header {header!r})")
+    tracer = Tracer()
+    for row in reader:
+        if len(row) != 4:
+            raise ValueError(f"malformed trace row {row!r}")
+        tracer.record(int(row[0]), row[1], float(row[2]), float(row[3]))
+    return tracer
+
+
+def dumps(tracer: Tracer) -> str:
+    """Trace as a CSV string."""
+    buf = io.StringIO()
+    dump_csv(tracer, buf)
+    return buf.getvalue()
+
+
+def loads(text: str) -> Tracer:
+    """Inverse of :func:`dumps`."""
+    return load_csv(io.StringIO(text))

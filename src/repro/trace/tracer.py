@@ -1,0 +1,81 @@
+"""State-interval recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+#: Canonical state names used by the runtime's instrumentation.
+ST_COMPUTE = "compute"
+ST_GET_LOCAL = "get:local"
+ST_GET_SHM = "get:shm"
+ST_GET_AM = "get:am"
+ST_GET_RDMA = "get:rdma"
+ST_PUT_LOCAL = "put:local"
+ST_PUT_SHM = "put:shm"
+ST_PUT_AM = "put:am"
+ST_PUT_RDMA = "put:rdma"
+ST_BARRIER = "barrier"
+ST_LOCK = "lock"
+
+
+@dataclass(frozen=True)
+class StateRecord:
+    """One interval of one UPC thread spent in one state."""
+
+    thread: int
+    state: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise ValueError(
+                f"interval ends before it starts: {self.t0} .. {self.t1}")
+
+
+class Tracer:
+    """Collects state records; cheap enough to leave on in tests.
+
+    ``max_records`` bounds memory on huge runs (oldest semantics: once
+    the budget is hit, further records are dropped and
+    ``dropped_records`` counts them).
+    """
+
+    __slots__ = ("records", "max_records", "dropped_records", "enabled")
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self.records: List[StateRecord] = []
+        self.max_records = max_records
+        self.dropped_records = 0
+        self.enabled = True
+
+    def record(self, thread: int, state: str, t0: float, t1: float) -> None:
+        if not self.enabled:
+            return
+        if (self.max_records is not None
+                and len(self.records) >= self.max_records):
+            self.dropped_records += 1
+            return
+        self.records.append(StateRecord(thread=thread, state=state,
+                                        t0=t0, t1=t1))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[StateRecord]:
+        return iter(self.records)
+
+    def by_state(self, state: str) -> List[StateRecord]:
+        return [r for r in self.records if r.state == state]
+
+    def by_thread(self, thread: int) -> List[StateRecord]:
+        return [r for r in self.records if r.thread == thread]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped_records = 0

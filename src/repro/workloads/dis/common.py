@@ -1,0 +1,78 @@
+"""Shared scaffolding for the DIS stressmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.address_cache import DEFAULT_CAPACITY, EvictionPolicy
+from repro.core.piggyback import PiggybackConfig
+from repro.core.policy import DEFAULT_CHUNK_BYTES, PinningPolicy
+from repro.network.params import MachineParams
+from repro.runtime.metrics import RunResult
+from repro.runtime.runtime import Runtime, RuntimeConfig
+
+
+@dataclass(frozen=True)
+class DISBase:
+    """Configuration fields every stressmark shares."""
+
+    machine: MachineParams
+    nthreads: int
+    threads_per_node: Optional[int] = None
+    cache_enabled: bool = True
+    cache_capacity: int = DEFAULT_CAPACITY
+    cache_policy: EvictionPolicy = EvictionPolicy.LRU
+    pinning_policy: PinningPolicy = PinningPolicy.PIN_EVERYTHING
+    pin_chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    piggyback: PiggybackConfig = field(default_factory=PiggybackConfig)
+    use_rdma_put: Optional[bool] = None
+    seed: int = 0
+    #: Optional Paraver-style tracer (see :mod:`repro.trace`).
+    tracer: Optional[Any] = None
+
+    def runtime(self) -> Runtime:
+        cfg = RuntimeConfig(
+            machine=self.machine,
+            nthreads=self.nthreads,
+            threads_per_node=self.threads_per_node,
+            cache_enabled=self.cache_enabled,
+            cache_capacity=self.cache_capacity,
+            cache_policy=self.cache_policy,
+            pinning_policy=self.pinning_policy,
+            pin_chunk_bytes=self.pin_chunk_bytes,
+            piggyback=self.piggyback,
+            use_rdma_put=self.use_rdma_put,
+            seed=self.seed,
+            tracer=self.tracer,
+        )
+        return Runtime(cfg)
+
+
+@dataclass
+class DISResult:
+    """Outcome of one stressmark run."""
+
+    run: RunResult
+    #: Functional output (identical across cache configurations —
+    #: the validity check every test relies on).
+    check: Any
+    #: Per-node cache hit rates (Figure 8 reports "a random thread";
+    #: we expose them all and the figure code picks node 0).
+    node_hit_rates: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.run.elapsed_us
+
+    @property
+    def hit_rate(self) -> float:
+        return self.run.cache_stats.hit_rate
+
+
+def collect_result(rt: Runtime, run: RunResult, check: Any) -> DISResult:
+    rates = {
+        node.id: rt.addr_cache(node.id).stats.hit_rate
+        for node in rt.cluster.nodes
+    }
+    return DISResult(run=run, check=check, node_hit_rates=rates)

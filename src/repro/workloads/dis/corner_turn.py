@@ -1,0 +1,87 @@
+"""The Corner Turn Stressmark (extension).
+
+The DIS Stressmark Suite contains seven stressmarks; the paper ports
+four ("we have implemented a subset", section 4.4).  Corner Turn — a
+distributed matrix transpose, the classic data-reorganization kernel
+of sensor pipelines — is a natural fifth: its communication is an
+all-to-all of tiles, so *every* node pair exchanges data and the
+address-cache working set is (nodes - 1) entries, like Pointer, but
+with a perfectly regular schedule, like Neighborhood.
+
+Implementation: an R x C source matrix in ``t x t`` tiles; thread
+``owner(j, i)`` of each *destination* tile pulls the source tile
+(i, j) row by row and writes the transposed tile into place
+(owner-computes on the output).  The functional check compares the
+dense result against ``A.T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+
+
+@dataclass(frozen=True)
+class CornerTurnParams(DISBase):
+    """Corner Turn stressmark knobs."""
+
+    #: Matrix is dim x dim elements.
+    dim: int = 64
+    #: Tile edge (square tiles; dim must be divisible).
+    tile: int = 8
+    #: Compute per transposed element (register shuffling).
+    work_us_per_elem: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.dim % self.tile:
+            raise ValueError(
+                f"dim {self.dim} not divisible by tile {self.tile}")
+        if (self.dim // self.tile) ** 2 < self.nthreads:
+            raise ValueError("fewer tiles than threads; shrink tile")
+
+
+def run_corner_turn(p: CornerTurnParams) -> DISResult:
+    rt = p.runtime()
+    dense = seeded_rng(p.seed, 0xC04E4).integers(
+        0, 1 << 16, size=(p.dim, p.dim)).astype("f8")
+    holder = {}
+
+    def kernel(th):
+        a = yield from th.all_alloc_matrix(p.dim, p.dim, p.tile, p.tile,
+                                           dtype="f8")
+        b = yield from th.all_alloc_matrix(p.dim, p.dim, p.tile, p.tile,
+                                           dtype="f8")
+        if th.id == 0:
+            a.from_dense(dense)
+            holder["b"] = b
+        yield from th.barrier()
+        tiles = p.dim // p.tile
+        for tile_idx in range(tiles * tiles):
+            # Owner-computes on the *destination* tile.
+            if tile_idx % th.nthreads != th.id:
+                continue
+            ti, tj = divmod(tile_idx, tiles)
+            # Destination tile (ti, tj) = transpose of source (tj, ti).
+            block = np.empty((p.tile, p.tile))
+            for dr in range(p.tile):
+                row = yield from th.memget_row(
+                    a, tj * p.tile + dr, ti * p.tile, p.tile)
+                block[:, dr] = row
+            yield from th.compute(p.tile * p.tile * p.work_us_per_elem)
+            for dr in range(p.tile):
+                start, _ = b.row_segment(ti * p.tile + dr,
+                                         tj * p.tile, p.tile)
+                yield from th.memput(b, start, block[dr])
+        yield from th.barrier()
+        return None
+
+    rt.spawn(kernel)
+    run = rt.run()
+    result = holder["b"].to_dense()
+    ok = bool(np.array_equal(result, dense.T))
+    checksum = float(result.sum())
+    return collect_result(rt, run, (ok, checksum))

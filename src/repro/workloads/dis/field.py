@@ -1,0 +1,169 @@
+"""The Field Stressmark (section 4.4).
+
+    "The Field Stressmark emphasizes regular access to large
+    quantities of data.  It searches an array of random words for
+    token strings, that delimit the sample sets, from which simple
+    statistics are collected.  The delimiters themselves are updated
+    in memory. ... Parallelization is done in the inner loop, where
+    each UPC thread searches the local portion of the data string for
+    tokens.  Because a token may span the boundary of two segments
+    affine to different threads, the threads must overlap their search
+    spaces by at least the width of a token."
+
+Structure per token (the outer loop is sequential, closed by a
+barrier):
+
+1. every thread scans its own block — pure *computation*, charged as
+   per-word time with a deterministic per-thread jitter.  On a polling
+   transport (GM) the node services **no** AM handlers during the
+   scan;
+2. the thread then reads the ``token_len - 1``-word *overhang* from
+   the start of the next thread's block (a remote GET that, without
+   the address cache, needs the busy neighbour's CPU — the section
+   4.6 pathology) and checks boundary-spanning matches;
+3. each match *updates the delimiter* (a PUT to the match location,
+   remote only for boundary matches) and bumps local statistics.
+
+On LAPI (interrupt progress) step 2 never waits on the neighbour's
+scan, so "the effects of the address cache are not measurable"
+(section 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+
+
+@dataclass(frozen=True)
+class FieldParams(DISBase):
+    """Field stressmark knobs."""
+
+    #: Words in the string array (blocked: ceil(N/THREADS) per thread).
+    nelems: int = 1 << 15
+    #: Token width in words.
+    token_len: int = 4
+    #: Tokens searched (outer sequential loop).
+    ntokens: int = 8
+    #: Alphabet size (small → matches actually occur).
+    alphabet: int = 8
+    #: Scan cost per word (the "regular access to large quantities of
+    #: data" compute term).
+    scan_us_per_word: float = 0.25
+    #: Data-dependent scan-time jitter (fraction of the scan) so the
+    #: overhang GET lands while the neighbour is still scanning.
+    jitter: float = 0.6
+    #: Candidate positions in the overlap region verified one word at
+    #: a time (each is a separate remote GET — DIS compares the token
+    #: against every boundary-spanning alignment).
+    boundary_probes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.token_len < 2:
+            raise ValueError("token_len must be >= 2 to span boundaries")
+        if self.nelems < self.nthreads * 2 * self.token_len:
+            raise ValueError("array too small for this thread count")
+
+
+def _count_matches(haystack: np.ndarray, token: np.ndarray) -> int:
+    """Positions where ``token`` occurs in ``haystack`` (vectorized)."""
+    n, m = len(haystack), len(token)
+    if n < m:
+        return 0
+    hits = np.ones(n - m + 1, dtype=bool)
+    for j in range(m):
+        hits &= haystack[j:n - m + 1 + j] == token[j]
+    return int(hits.sum())
+
+
+def _match_positions(haystack: np.ndarray, token: np.ndarray) -> np.ndarray:
+    n, m = len(haystack), len(token)
+    if n < m:
+        return np.empty(0, dtype=np.int64)
+    hits = np.ones(n - m + 1, dtype=bool)
+    for j in range(m):
+        hits &= haystack[j:n - m + 1 + j] == token[j]
+    return np.nonzero(hits)[0]
+
+
+def run_field(p: FieldParams) -> DISResult:
+    rt = p.runtime()
+    rng = seeded_rng(p.seed, 0xF1E1D)
+    words = rng.integers(0, p.alphabet, size=p.nelems, dtype=np.uint64)
+    tokens = [rng.integers(0, p.alphabet, size=p.token_len,
+                           dtype=np.uint64) for _ in range(p.ntokens)]
+    blocksize = -(-p.nelems // p.nthreads)
+    counts = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(p.nelems, blocksize=blocksize,
+                                      dtype="u8")
+        if th.id == 0:
+            arr.data[:] = words
+        yield from th.barrier()
+        lo = th.id * blocksize
+        hi = min(lo + blocksize, p.nelems)
+        my_words = hi - lo
+        total = 0
+        for tok_i, token in enumerate(tokens):
+            # --- local scan: long compute, NO polling (section 4.6).
+            # Scan work is data-dependent per (block, token): the
+            # number of candidate delimiters and sample sets varies a
+            # lot, so per-token scan times are drawn from a skewed
+            # distribution around the mean.  This variability is what
+            # turns the missing GM overlap into long overhang waits.
+            rate = ((1.0 - p.jitter)
+                    + 2.0 * p.jitter * float(th.rng.exponential(0.5)))
+            yield from th.compute(my_words * p.scan_us_per_word * rate)
+            local = arr.data[lo:hi]
+            nmatch = _count_matches(local, token)
+            # Update delimiters: the first local match position (if
+            # any) is rewritten in shared memory (an affine put).
+            pos = _match_positions(local, token)
+            if len(pos):
+                yield from th.put(arr, lo + int(pos[0]),
+                                  np.uint64(arr.data[lo + int(pos[0])]))
+            # --- overhang into the next thread's block (remote GET).
+            # The string is scanned circularly (the last thread's
+            # overhang wraps to thread 0) so every thread's search
+            # space — and hence every node's communication behaviour —
+            # is identical.
+            over_start = hi % p.nelems
+            width = min(p.token_len - 1,
+                        arr.layout.blocksize, p.nelems - over_start)
+            over = yield from th.memget(arr, over_start, width)
+            # Verify each boundary-spanning alignment word by word
+            # (separate small GETs, as DIS compares candidate by
+            # candidate against the updated delimiter state).
+            for probe in range(p.boundary_probes):
+                pos = (over_start + probe % max(1, width)) % p.nelems
+                _ = yield from th.get(arr, pos)
+                yield from th.compute(0.5)
+            # Delimiter state at the boundary is *updated in memory*
+            # strictly (later readers of the overlap must see it) —
+            # the PUT whose trace times were "abnormally large" on GM.
+            yield from th.put_strict(arr, over_start,
+                                     np.uint64(arr.data[over_start]))
+            tail = arr.data[hi - (p.token_len - 1):hi]
+            boundary = np.concatenate([tail, np.asarray(over)])
+            if hi < p.nelems:  # wrap matches are synthetic; don't count
+                nmatch += _count_matches(boundary, token)
+            total += nmatch
+            # Statistics collection over the sample sets found.
+            yield from th.compute(2.0 + 0.2 * nmatch)
+            # The outer loop "cannot be parallelized": each thread
+            # finishes token k before starting token k+1 (program
+            # order); there is no *global* barrier per token, so the
+            # uncached overhang waits compound along the run — the
+            # effect Paraver exposed in section 4.6.
+        counts[th.id] = total
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    run = rt.run()
+    check = tuple(counts[t] for t in sorted(counts))
+    return collect_result(rt, run, check)

@@ -1,0 +1,119 @@
+"""The Neighborhood Stressmark (section 4.4).
+
+    "The Neighborhood Stressmark is a stencil code prototype. ... It
+    requires memory accesses to pairs of pixels with specific spatial
+    relationships.  Computation is performed in parallel based on the
+    locality of the shared array.  The two-dimensional pixel matrix is
+    block-distributed in a row major fashion.  Accesses are local or
+    remote depending on stencil distances and pixel positions."
+
+Layout: the UPC declaration ``shared [WIDTH] pixel img[DIM][WIDTH]``
+distributes *rows* round-robin over threads (row ``r`` is affine to
+thread ``r % THREADS``), row-major within the row.  A vertical stencil
+access at distance ``d`` therefore lands ``d`` threads away — usually
+on another node — while horizontal accesses stay local.
+
+Access mix: "The stencil used in this experiment (with a stencil
+distance of 10) causes about 3/16 of memory accesses to be potentially
+remote" (section 4.6) — implemented directly: a sampled pixel does the
+vertical (remote-capable) pair with probability ``boundary_fraction``
+(default 3/16) and the horizontal (local) pair otherwise.
+
+The communication partner set is {thread - d, thread + d} — constant
+as the machine grows.  That is Figure 8b: "only a few cache entries
+are used and the hit ratio keeps constant as we scale."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+
+
+@dataclass(frozen=True)
+class NeighborhoodParams(DISBase):
+    """Neighborhood stressmark knobs."""
+
+    #: Pixel matrix is dim rows x width columns, row-major (width
+    #: defaults to dim, i.e. square).  Large-scale runs keep rows per
+    #: thread constant and shrink the width to bound the data plane.
+    dim: int = 256
+    width: int = 0  # 0 → square (width = dim)
+    #: Stencil distance in rows ("a stencil distance of 10").
+    distance: int = 10
+    #: Pixels sampled per thread per iteration.
+    samples: int = 24
+    iterations: int = 2
+    #: Per-pixel computation between accesses.
+    work_us: float = 0.4
+    #: Fraction of accesses that are vertical, i.e. potentially
+    #: remote.  Section 4.6: "about 3/16 of memory accesses to be
+    #: potentially remote".
+    boundary_fraction: float = 3.0 / 16.0
+
+    def __post_init__(self) -> None:
+        if self.dim < 2 * self.nthreads:
+            raise ValueError("need at least two rows per thread")
+        if not 0 < self.distance < self.dim:
+            raise ValueError(f"bad stencil distance {self.distance}")
+        if not 0.0 <= self.boundary_fraction <= 1.0:
+            raise ValueError(
+                f"bad boundary_fraction {self.boundary_fraction}")
+        if self.width < 0:
+            raise ValueError(f"bad width {self.width}")
+
+    @property
+    def ncols(self) -> int:
+        return self.width or self.dim
+
+
+def run_neighborhood(p: NeighborhoodParams) -> DISResult:
+    rt = p.runtime()
+    ncols = p.ncols
+    npix = p.dim * ncols
+    # Row-cyclic: blocksize of one row → row r affine to thread r % T.
+    blocksize = ncols
+    image = seeded_rng(p.seed, 0x2D).integers(0, 1 << 12, size=npix,
+                                              dtype=np.uint64)
+    sums = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(npix, blocksize=blocksize, dtype="u8")
+        if th.id == 0:
+            arr.data[:] = image
+        yield from th.barrier()
+        my_rows = list(range(th.id, p.dim, p.nthreads))
+        acc = 0
+        rng = th.rng
+        for _ in range(p.iterations):
+            for _ in range(p.samples):
+                r = int(my_rows[int(rng.integers(len(my_rows)))])
+                c = int(rng.integers(ncols))
+                center = yield from th.get(arr, r * ncols + c)
+                yield from th.compute(p.work_us)
+                if float(rng.random()) < p.boundary_fraction:
+                    # Vertical pair: d rows away → d threads away,
+                    # usually another node.
+                    deltas = [(-p.distance, 0), (p.distance, 0)]
+                else:
+                    # Horizontal pair: same row → always affine.
+                    deltas = [(0, -p.distance), (0, p.distance)]
+                for dr, dc in deltas:
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < p.dim and 0 <= cc < ncols:
+                        other = yield from th.get(arr, rr * ncols + cc)
+                        diff = int(center) - int(other)
+                        acc += diff * diff
+                        yield from th.compute(p.work_us)
+            yield from th.barrier()
+        sums[th.id] = acc
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    run = rt.run()
+    check = tuple(sums[t] for t in sorted(sums))
+    return collect_result(rt, run, check)

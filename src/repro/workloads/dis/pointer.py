@@ -1,0 +1,83 @@
+"""The Pointer Stressmark (section 4.4).
+
+    "The Pointer Stressmark is repeatedly following pointers (hops) to
+    randomized locations in memory until a condition becomes true.
+    The entire process is performed multiple times.  Each UPC thread
+    runs the test separately with different starting and ending
+    positions on the same shared array."
+
+Every thread chases a chain through the *whole* shared array, so the
+set of (handle, remote-node) pairs a thread touches grows with the
+machine — the cache-hostile case of Figure 8a: "Pointer and Update
+belong to the group of rare UPC applications that unpredictably access
+remote memory locations along the whole shared memory space, which
+results in address caches that grow with the number of nodes."
+
+The chain is a random permutation cycle (generated untimed, directly
+in the data plane), so every hop's value is the next index — the
+functional result (each thread's final position) is deterministic and
+must be identical with and without the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+
+
+@dataclass(frozen=True)
+class PointerParams(DISBase):
+    """Pointer stressmark knobs."""
+
+    #: Words in the shared array.
+    nelems: int = 1 << 14
+    #: Hops each thread performs ("until a condition becomes true";
+    #: we fix the hop count so runs are comparable).
+    hops: int = 48
+    #: Local work between hops (pointer dereference arithmetic).
+    work_us: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.nelems < self.nthreads:
+            raise ValueError("need at least one element per thread")
+        if self.hops < 1:
+            raise ValueError(f"hops must be >= 1, got {self.hops}")
+
+
+def _build_chain(nelems: int, seed: int) -> np.ndarray:
+    """A single random cycle: arr[i] = successor of i."""
+    rng = seeded_rng(seed, 0x0D15)
+    perm = rng.permutation(nelems)
+    chain = np.empty(nelems, dtype=np.uint64)
+    chain[perm] = np.roll(perm, -1)
+    return chain
+
+
+def run_pointer(p: PointerParams) -> DISResult:
+    """Run the stressmark; returns timing + functional check."""
+    rt = p.runtime()
+    chain = _build_chain(p.nelems, p.seed)
+    finals = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(p.nelems, blocksize=None, dtype="u8")
+        if th.id == 0:
+            arr.data[:] = chain      # untimed input generation
+        yield from th.barrier()
+        # "different starting ... positions on the same shared array"
+        idx = int(th.rng.integers(p.nelems))
+        for _ in range(p.hops):
+            nxt = yield from th.get(arr, idx)
+            yield from th.compute(p.work_us)
+            idx = int(nxt)
+        finals[th.id] = idx
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    run = rt.run()
+    check = tuple(finals[t] for t in sorted(finals))
+    return collect_result(rt, run, check)

@@ -1,0 +1,97 @@
+"""The Transitive Closure Stressmark (extension).
+
+Another member of the DIS suite beyond the paper's four-stressmark
+subset: boolean transitive closure of a directed graph by
+Floyd–Warshall.  The adjacency matrix is row-blocked over the UPC
+threads; at step ``k`` every thread fetches row ``k`` from its owner
+(one bulk remote GET — a broadcast-by-read) and updates its own rows
+locally.  Communication is single-source-per-step with a rotating
+source: every node pair eventually talks, but only one (handle, node)
+pair is hot at a time — friendly to even a tiny address cache.
+
+Functional check: the closure must equal a serial NumPy
+Floyd–Warshall of the same generated graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+
+
+@dataclass(frozen=True)
+class TransitiveParams(DISBase):
+    """Transitive Closure stressmark knobs."""
+
+    #: Number of graph vertices (adjacency is nverts x nverts).
+    nverts: int = 48
+    #: Edge probability of the random digraph.
+    density: float = 0.08
+    #: Compute cost per updated matrix row per step.
+    row_update_us: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nverts < self.nthreads:
+            raise ValueError("need at least one row per thread")
+        if not 0.0 < self.density < 1.0:
+            raise ValueError(f"bad density {self.density}")
+
+
+def _closure_reference(adj: np.ndarray) -> np.ndarray:
+    reach = adj.copy()
+    n = len(reach)
+    for k in range(n):
+        reach |= np.outer(reach[:, k], reach[k, :])
+    return reach
+
+
+def run_transitive(p: TransitiveParams) -> DISResult:
+    rt = p.runtime()
+    n = p.nverts
+    rng = seeded_rng(p.seed, 0x7C105)
+    adj = (rng.random((n, n)) < p.density)
+    np.fill_diagonal(adj, True)
+    adj = adj.astype(bool)
+    rows_per_thread = -(-n // p.nthreads)
+    blocksize = rows_per_thread * n
+    holder = {}
+
+    def kernel(th):
+        mat = yield from th.all_alloc(n * n, blocksize=blocksize,
+                                      dtype="u1")
+        if th.id == 0:
+            mat.data[:] = adj.astype(np.uint8).ravel()
+            holder["mat"] = mat
+        yield from th.barrier()
+        lo = min(th.id * rows_per_thread, n)
+        hi = min(lo + rows_per_thread, n)
+        # Local working copy of this thread's row strip.
+        mine = adj[lo:hi].copy()
+        for k in range(n):
+            # Fetch row k from its owner (remote unless it is ours).
+            row_k = yield from th.memget(mat, k * n, n)
+            row_k = row_k.astype(bool)
+            if hi > lo:
+                updated = mine | np.outer(mine[:, k], row_k)
+                changed = int((updated != mine).any())
+                mine = updated
+                yield from th.compute((hi - lo) * p.row_update_us
+                                      + changed)
+                # Publish our strip so later steps read fresh rows.
+                yield from th.memput(mat, lo * n,
+                                     mine.astype(np.uint8).ravel())
+                yield from th.fence()
+            yield from th.barrier()
+        yield from th.barrier()
+        return int(mine.sum()) if hi > lo else 0
+
+    rt.spawn(kernel)
+    run = rt.run()
+    result = holder["mat"].data.reshape(n, n).astype(bool)
+    expect = _closure_reference(adj)
+    ok = bool(np.array_equal(result, expect))
+    return collect_result(rt, run, (ok, int(result.sum())))

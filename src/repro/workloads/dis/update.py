@@ -1,0 +1,80 @@
+"""The Update Stressmark (section 4.4).
+
+    "The Update Stressmark is a pointer-hopping benchmark similar to
+    the Pointer Stressmark.  The major difference is that in this code
+    more than one remote memory location is read — and one remote
+    location is updated — in each hop.  All this is done by UPC thread
+    0, while the other threads idle in a barrier.  This benchmark is
+    designed to measure the overhead of remote accesses to multiple
+    threads."
+
+Because the idle threads sit *inside* the runtime (in the barrier),
+their nodes poll the network, so thread 0's AM requests are serviced
+promptly — the measured improvement tracks the raw GET/PUT
+microbenchmark numbers (11–22 % in Figure 9), not the progress
+pathology of Field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.dis.common import DISBase, DISResult, collect_result
+from repro.workloads.dis.pointer import _build_chain
+
+
+@dataclass(frozen=True)
+class UpdateParams(DISBase):
+    """Update stressmark knobs."""
+
+    nelems: int = 1 << 14
+    hops: int = 64
+    #: Remote locations *read* per hop ("more than one").
+    reads_per_hop: int = 3
+    work_us: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.nelems < self.nthreads:
+            raise ValueError("need at least one element per thread")
+        if self.reads_per_hop < 1:
+            raise ValueError("reads_per_hop must be >= 1")
+
+
+def run_update(p: UpdateParams) -> DISResult:
+    rt = p.runtime()
+    chain = _build_chain(p.nelems, p.seed)
+    out = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(p.nelems, blocksize=None, dtype="u8")
+        if th.id == 0:
+            arr.data[:] = chain
+        yield from th.barrier()
+        if th.id == 0:
+            idx = int(th.rng.integers(p.nelems))
+            acc = np.uint64(0)
+            for hop in range(p.hops):
+                # Read several locations along the chain...
+                probe = idx
+                for _ in range(p.reads_per_hop):
+                    v = yield from th.get(arr, probe)
+                    acc = np.uint64(acc + np.uint64(v))
+                    probe = int(v)
+                # ...and update one.  The update is *strict*: the next
+                # hop may revisit this location, so the write must be
+                # remotely complete before continuing (DIS semantics).
+                yield from th.put_strict(arr, idx,
+                                         np.uint64(arr.data[idx]))
+                yield from th.compute(p.work_us)
+                idx = probe
+            out["acc"] = int(acc)
+            out["idx"] = idx
+            yield from th.fence()
+        # "the other threads idle in a barrier"
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    run = rt.run()
+    return collect_result(rt, run, (out.get("acc"), out.get("idx")))

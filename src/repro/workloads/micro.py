@@ -1,0 +1,128 @@
+"""GET/PUT latency microbenchmarks (section 4.3).
+
+    "Our first set of experiments sought to quantify the maximum
+    benefit obtainable by the address cache.  We wrote and executed
+    microbenchmarks to compare GET roundtrip latencies and PUT
+    overheads of the XLUPC runtime with and without cache operation."
+
+Setup mirrors the paper: two nodes, *one active thread per node* (the
+target thread idles inside the runtime, so it polls — "it ran on 1
+active thread in each node", section 4.6).  The first operation warms
+the path (pins the object, seeds the cache); the measured mean covers
+the subsequent repetitions.
+
+``put_overhead_us`` measures **initiator-visible** time (the paper's
+"PUT overheads"): how long until the issuing thread may proceed.  It
+forces ``use_rdma_put=True`` in cached mode because Figure 6 is the
+experiment that *led* to disabling RDMA PUT on LAPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.network.params import MachineParams
+from repro.runtime.runtime import Runtime, RuntimeConfig
+
+#: Message sizes of Figure 6 (1 B to 4 MB, powers of four).
+FIG6_SIZES = [4 ** k for k in range(12)]  # 1 ... 4_194_304
+#: Small-message sizes of Figure 7 (1 B to 8 KB, powers of two).
+FIG7_SIZES = [2 ** k for k in range(14)]  # 1 ... 8192
+
+
+@dataclass(frozen=True)
+class MicroParams:
+    """One microbenchmark point."""
+
+    machine: MachineParams
+    msg_bytes: int
+    cache_enabled: bool
+    reps: int = 20
+    warmup: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.msg_bytes < 1:
+            raise ValueError(f"msg_bytes must be >= 1, got {self.msg_bytes}")
+        if self.reps < 1:
+            raise ValueError(f"reps must be >= 1, got {self.reps}")
+
+
+def _make_runtime(p: MicroParams, use_rdma_put: Optional[bool]) -> Runtime:
+    cfg = RuntimeConfig(
+        machine=p.machine,
+        nthreads=2,
+        threads_per_node=1,          # one active thread per node
+        cache_enabled=p.cache_enabled,
+        use_rdma_put=use_rdma_put,
+        seed=p.seed,
+    )
+    return Runtime(cfg)
+
+
+def _array_geometry(p: MicroParams):
+    """A blocked 2-thread array where thread 1 owns a contiguous
+    region of at least ``msg_bytes``."""
+    nelems = max(2 * p.msg_bytes, 2)
+    blocksize = nelems // 2  # exactly half each
+    return nelems, blocksize
+
+
+def get_roundtrip_us(p: MicroParams) -> float:
+    """Mean GET round-trip latency (µs) for one configuration."""
+    result = {}
+    nelems, blocksize = _array_geometry(p)
+
+    def kernel(th):
+        arr = yield from th.all_alloc(nelems, blocksize=blocksize,
+                                      dtype="u1")
+        yield from th.barrier()
+        if th.id == 0:
+            remote_index = blocksize  # first element of thread 1
+            for _ in range(p.warmup):
+                yield from th.memget(arr, remote_index, p.msg_bytes)
+            t0 = th.runtime.sim.now
+            for _ in range(p.reps):
+                yield from th.memget(arr, remote_index, p.msg_bytes)
+            result["mean_us"] = (th.runtime.sim.now - t0) / p.reps
+        yield from th.barrier()
+
+    rt = _make_runtime(p, use_rdma_put=None)
+    rt.spawn(kernel)
+    rt.run()
+    return result["mean_us"]
+
+
+def put_overhead_us(p: MicroParams) -> float:
+    """Mean initiator-visible PUT time (µs) for one configuration."""
+    result = {}
+    nelems, blocksize = _array_geometry(p)
+    payload = np.zeros(p.msg_bytes, dtype="u1")
+
+    def kernel(th):
+        arr = yield from th.all_alloc(nelems, blocksize=blocksize,
+                                      dtype="u1")
+        yield from th.barrier()
+        if th.id == 0:
+            remote_index = blocksize
+            # Warm up (also seeds the cache via the GET piggyback so
+            # the very first measured PUT can go RDMA).
+            yield from th.memget(arr, remote_index, p.msg_bytes)
+            for _ in range(p.warmup):
+                yield from th.memput(arr, remote_index, payload)
+            yield from th.fence()
+            t0 = th.runtime.sim.now
+            for _ in range(p.reps):
+                yield from th.memput(arr, remote_index, payload)
+            result["mean_us"] = (th.runtime.sim.now - t0) / p.reps
+            yield from th.fence()
+        yield from th.barrier()
+
+    # Cached mode forces the RDMA PUT path on (the Figure 6 experiment).
+    rt = _make_runtime(p, use_rdma_put=p.cache_enabled or None)
+    rt.spawn(kernel)
+    rt.run()
+    return result["mean_us"]

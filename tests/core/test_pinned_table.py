@@ -1,0 +1,61 @@
+"""Unit tests for the pinned address table."""
+
+from repro.core import PinnedAddressTable
+from repro.memory import PinManager
+
+
+def make_table(**kw):
+    pm = PinManager(0, **kw)
+    return PinnedAddressTable(pm), pm
+
+
+def test_register_pins_and_costs_once():
+    t, pm = make_table()
+    c1 = t.register("h", 0x1000, 8192)
+    c2 = t.register("h", 0x1000, 8192)
+    assert c1 > 0 and c2 == 0.0
+    assert t.is_pinned(0x1000, 8192)
+    assert len(t) == 1
+    assert t.entry_count_for("h") == 1
+
+
+def test_lookup_phys_only_for_pinned():
+    t, _ = make_table()
+    assert t.lookup_phys(0x5000) is None
+    t.register("h", 0x5000, 4096)
+    base = t.lookup_phys(0x5000)
+    assert base is not None
+    assert t.lookup_phys(0x5010) == base + 0x10
+
+
+def test_chunked_registration_creates_multiple_entries():
+    # LAPI-style 32MB handle cap ⇒ several PinnedEntry rows per object.
+    t, _ = make_table(max_region_bytes=4096)
+    t.register("big", 0x10_000, 3 * 4096)
+    assert len(t) == 3
+    assert t.entry_count_for("big") == 3
+
+
+def test_unregister_handle_unpins_and_reports():
+    t, pm = make_table()
+    t.register("h", 0x1000, 4096)
+    t.register("i", 0x9000, 4096)
+    cost, removed = t.unregister_handle("h")
+    assert cost > 0 and removed == 1
+    assert not t.is_pinned(0x1000, 4096)
+    assert t.is_pinned(0x9000, 4096)
+    assert len(t) == 1
+
+
+def test_unregister_unknown_handle_is_noop():
+    t, _ = make_table()
+    cost, removed = t.unregister_handle("ghost")
+    assert cost == 0.0 and removed == 0
+
+
+def test_time_accounting():
+    t, _ = make_table()
+    t.register("h", 0x1000, 4096)
+    t.unregister_handle("h")
+    assert t.pin_time_us > 0
+    assert t.unpin_time_us > t.pin_time_us  # dereg costs more (3.3)

@@ -1,0 +1,84 @@
+"""Tests for the figure runners (small-scale smoke versions; the
+shape assertions live in tests/test_calibration.py)."""
+
+import pytest
+
+from repro.experiments import (
+    FigureResult,
+    fig6_get,
+    fig6_put,
+    fig7,
+    fig8,
+    fig9,
+    miss_overhead,
+    render_table,
+)
+
+
+def test_figure_result_rows_and_series():
+    fig = FigureResult(figure_id="X", title="t", columns=["a", "b"])
+    fig.add(a=1, b=2.5)
+    fig.add(a=3, b=None)
+    assert fig.series("a") == [1, 3]
+    assert fig.rows()[1]["b"] is None
+    text = fig.render()
+    assert "X: t" in text
+    assert "2.50" in text
+
+
+def test_render_table_alignment_and_empty():
+    assert "(no data)" in render_table([], ["x"], title="T")
+    text = render_table([{"x": 1000, "y": 1.234}], ["x", "y"])
+    assert "1000" in text and "1.23" in text
+
+
+def test_fig6_get_columns_and_rows():
+    fig = fig6_get(sizes=[1, 1024], reps=3)
+    assert fig.columns == ["size_bytes", "gm_pct", "lapi_pct"]
+    assert [r["size_bytes"] for r in fig.rows()] == [1, 1024]
+
+
+def test_fig6_put_has_lapi_regression_row():
+    fig = fig6_put(sizes=[16], reps=3)
+    assert fig.rows()[0]["lapi_pct"] < -50
+
+
+def test_fig7_reports_four_series():
+    fig = fig7(sizes=[1, 64], reps=3)
+    row = fig.rows()[0]
+    for col in ("gm_nocache_us", "gm_cache_us", "lapi_nocache_us",
+                "lapi_cache_us"):
+        assert row[col] > 0
+
+
+def test_fig8_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        fig8("matrix-multiply")
+
+
+def test_fig8_row_structure():
+    fig = fig8("neighborhood", scales=[(8, 2)], capacities=(4, 100),
+               seed=1)
+    row = fig.rows()[0]
+    assert row["threads"] == 8 and row["nodes"] == 2
+    assert 0 <= row["hit_cap4"] <= 1
+    assert 0 <= row["hit_cap100"] <= 1
+
+
+def test_fig9_rejects_unknown_platform():
+    with pytest.raises(ValueError):
+        fig9("infiniband")
+
+
+def test_fig9_rows_include_cis():
+    fig = fig9("gm", scales=[(8, 2)], seeds=(1, 2))
+    row = fig.rows()[0]
+    for name in ("pointer", "update", "neighborhood", "field"):
+        assert name in row
+        assert f"{name}_ci" in row
+
+
+def test_miss_overhead_small():
+    fig = miss_overhead(threads=8, nodes=2, seeds=(1,))
+    assert len(fig.rows()) == 1
+    assert fig.rows()[0]["overhead_pct"] < 5.0

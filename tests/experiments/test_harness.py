@@ -1,0 +1,72 @@
+"""Tests for the paired-run harness and statistics."""
+
+import pytest
+
+from repro.experiments import paired_run, repeat_ci
+from repro.network import GM_MARENOSTRUM
+from repro.util.stats import (
+    ConfidenceInterval,
+    RunningStats,
+    improvement_pct,
+    mean_ci95,
+)
+from repro.workloads import PointerParams, run_pointer
+
+
+def small_params(**kw):
+    return PointerParams(machine=GM_MARENOSTRUM, nthreads=8,
+                         threads_per_node=4, nelems=1024, hops=8, **kw)
+
+
+def test_paired_run_checks_equivalence_and_improves():
+    pair = paired_run(run_pointer, small_params(seed=3))
+    assert pair.baseline.check == pair.cached.check
+    assert pair.improvement_pct > 0
+    assert 0 <= pair.hit_rate <= 1
+
+
+def test_repeat_ci_aggregates_seeds():
+    ci = repeat_ci(run_pointer, small_params(), seeds=[1, 2, 3])
+    assert ci.n == 3
+    assert ci.low <= ci.mean <= ci.high
+
+
+def test_repeat_ci_requires_seeds():
+    with pytest.raises(ValueError):
+        repeat_ci(run_pointer, small_params(), seeds=[])
+
+
+def test_improvement_pct_paper_formula():
+    # 100 (Z - W) / Z
+    assert improvement_pct(100.0, 60.0) == pytest.approx(40.0)
+    assert improvement_pct(10.0, 30.0) == pytest.approx(-200.0)
+    with pytest.raises(ValueError):
+        improvement_pct(0.0, 1.0)
+
+
+def test_mean_ci95_known_values():
+    ci = mean_ci95([10.0, 12.0, 14.0])
+    assert ci.mean == pytest.approx(12.0)
+    assert ci.half_width == pytest.approx(1.96 * 2.0 / 3 ** 0.5, rel=1e-3)
+    single = mean_ci95([5.0])
+    assert single.half_width == 0.0
+    with pytest.raises(ValueError):
+        mean_ci95([])
+
+
+def test_running_stats_mean_variance_merge():
+    a, b = RunningStats(), RunningStats()
+    a.extend([1.0, 2.0, 3.0])
+    b.extend([10.0, 20.0])
+    merged = RunningStats()
+    merged.extend([1.0, 2.0, 3.0, 10.0, 20.0])
+    a.merge(b)
+    assert a.n == merged.n
+    assert a.mean == pytest.approx(merged.mean)
+    assert a.variance == pytest.approx(merged.variance)
+    assert a.min == 1.0 and a.max == 20.0
+
+
+def test_confidence_interval_bounds():
+    ci = ConfidenceInterval(mean=10.0, half_width=2.0, n=5)
+    assert ci.low == 8.0 and ci.high == 12.0

@@ -1,0 +1,41 @@
+"""Property tests for the pin-down (registration) cache."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import PinManager, RegistrationCache
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=60))
+def test_property_residency_never_exceeds_capacity(slots):
+    """Whatever the registration stream (disjoint per-buffer regions,
+    as the transport issues), resident bytes stay within the cache
+    budget and match the pin manager's pinned bytes exactly."""
+    page = 4096
+    capacity = 8 * page
+    pm = PinManager(0, page_size=page)
+    rc = RegistrationCache(pm, capacity_bytes=capacity)
+    for slot in slots:
+        size = (slot % 4 + 1) * page   # fixed size per slot → no overlap
+        rc.register(0x10_000 + slot * 32 * page, size)
+        assert rc.resident_bytes <= capacity
+        assert rc.resident_bytes == pm.pinned_bytes
+    assert rc.hits + rc.misses == len(slots)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=2, max_size=80))
+def test_property_repeat_registrations_hit(stream):
+    """Re-registering a resident region is always free and a hit."""
+    page = 4096
+    pm = PinManager(1, page_size=page)
+    rc = RegistrationCache(pm, capacity_bytes=100 * page)
+    resident = set()
+    for slot in stream:
+        vaddr = 0x1000 + slot * 8 * page
+        cost = rc.register(vaddr, page)
+        if slot in resident:
+            assert cost == 0.0
+        else:
+            assert cost > 0.0
+            resident.add(slot)

@@ -1,0 +1,107 @@
+"""Tests for the TCP/IP sockets and BlueGene/L transport models
+(section 2 lists both among XLUPC's implemented messaging methods)."""
+
+import pytest
+
+from repro.network import BGL_TORUS, TCP_CLUSTER, make_topology
+from repro.network.topology import FlatEthernet, Torus3D
+from repro.runtime import Runtime, RuntimeConfig
+
+
+# --------------------------------------------------------------- topology
+
+def test_torus_folding_is_cubic():
+    t = Torus3D(64, base_us=0.5, per_hop_us=0.1)
+    assert sorted(t.dims, reverse=True) == [4, 4, 4]
+    t = Torus3D(512, base_us=0.5, per_hop_us=0.1)
+    assert t.dims == (8, 8, 8)
+
+
+def test_torus_wraparound_shortens_routes():
+    t = Torus3D(8, base_us=0.5, per_hop_us=0.1)   # 2x2x2
+    # Any two distinct corners of a 2-cube are <= 3 hops apart.
+    for a in range(8):
+        for b in range(8):
+            if a != b:
+                assert 1 <= t.hops(a, b) <= 3
+                assert t.hops(a, b) == t.hops(b, a)
+
+
+def test_torus_coords_roundtrip():
+    t = Torus3D(27, base_us=0.5, per_hop_us=0.1)
+    seen = {t.coords(n) for n in range(27)}
+    assert len(seen) == 27
+
+
+def test_flat_ethernet_uniform():
+    t = FlatEthernet(16, base_us=18.0, per_hop_us=2.0)
+    lats = {t.latency(0, d) for d in range(1, 16)}
+    assert lats == {20.0}
+
+
+def test_make_topology_new_kinds():
+    assert isinstance(make_topology(TCP_CLUSTER, 8), FlatEthernet)
+    assert isinstance(make_topology(BGL_TORUS, 64), Torus3D)
+
+
+# --------------------------------------------------------------- runtimes
+
+def pointer_like(th):
+    arr = yield from th.all_alloc(1024, blocksize=None, dtype="u8")
+    if th.id == 0:
+        arr.data[:] = range(1024)
+    yield from th.barrier()
+    acc = 0
+    for k in range(16):
+        v = yield from th.get(arr, (th.id * 131 + k * 67) % 1024)
+        acc += int(v)
+    yield from th.put(arr, th.id, acc % 1024)
+    yield from th.barrier()
+    return acc
+
+
+def run_on(machine, cache_enabled, nthreads=8, tpn=2):
+    cfg = RuntimeConfig(machine=machine, nthreads=nthreads,
+                        threads_per_node=tpn,
+                        cache_enabled=cache_enabled, seed=2)
+    rt = Runtime(cfg)
+    procs = rt.spawn(pointer_like)
+    res = rt.run()
+    return rt, res, [p.value for p in procs]
+
+
+def test_tcp_cache_is_inert():
+    """No RDMA on sockets → the cache must neither help nor be used."""
+    rt_on, res_on, ans_on = run_on(TCP_CLUSTER, True)
+    rt_off, res_off, ans_off = run_on(TCP_CLUSTER, False)
+    assert ans_on == ans_off
+    assert res_on.elapsed_us == pytest.approx(res_off.elapsed_us)
+    assert rt_on.metrics.rdma_gets == 0
+    assert rt_on.metrics.rdma_puts == 0
+    assert res_on.cache_stats.accesses == 0
+
+
+def test_tcp_latency_dominated_by_wire_and_syscalls():
+    _, res, _ = run_on(TCP_CLUSTER, False)
+    rt, _, _ = run_on(TCP_CLUSTER, False)
+    assert rt.metrics.get_remote.mean > 40.0  # tens of µs per op
+
+
+def test_bgl_cache_accelerates():
+    rt_on, res_on, ans_on = run_on(BGL_TORUS, True)
+    rt_off, res_off, ans_off = run_on(BGL_TORUS, False)
+    assert ans_on == ans_off
+    assert res_on.elapsed_us < res_off.elapsed_us
+    assert rt_on.metrics.rdma_gets > 0
+
+
+def test_bgl_remote_latency_is_low():
+    # Lean cores + sub-µs torus hops → single-digit-µs remote gets.
+    rt, _, _ = run_on(BGL_TORUS, True, nthreads=16, tpn=2)
+    assert rt.metrics.get_remote.mean < 15.0
+
+
+def test_machines_registry_contains_all_four():
+    from repro.network import MACHINES
+    for key in ("gm", "lapi", "tcp", "bgl"):
+        assert key in MACHINES

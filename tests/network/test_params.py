@@ -1,0 +1,66 @@
+"""Validation tests for the transport parameter tables."""
+
+import pytest
+
+from repro.network import (
+    BGL_TRANSPORT,
+    GM_TRANSPORT,
+    LAPI_TRANSPORT,
+    TCP_TRANSPORT,
+)
+
+
+def test_shipped_tables_are_valid():
+    # Construction itself validates; just touch all four.
+    for t in (GM_TRANSPORT, LAPI_TRANSPORT, TCP_TRANSPORT, BGL_TRANSPORT):
+        assert t.wire_time(1000) > 0
+        assert t.fragments(t.frag_bytes + 1) == 2
+
+
+def test_negative_overhead_rejected():
+    with pytest.raises(ValueError, match="o_send_us"):
+        GM_TRANSPORT.with_overrides(o_send_us=-1.0)
+
+
+def test_zero_bandwidth_rejected():
+    with pytest.raises(ValueError, match="byte_time_us"):
+        GM_TRANSPORT.with_overrides(byte_time_us=0.0)
+
+
+def test_bad_sizes_rejected():
+    with pytest.raises(ValueError):
+        GM_TRANSPORT.with_overrides(ctrl_bytes=0)
+    with pytest.raises(ValueError):
+        GM_TRANSPORT.with_overrides(frag_bytes=0)
+    with pytest.raises(ValueError):
+        GM_TRANSPORT.with_overrides(eager_max_bytes=-1)
+
+
+def test_bad_concurrency_rejected():
+    with pytest.raises(ValueError):
+        GM_TRANSPORT.with_overrides(eager_credits=0)
+    with pytest.raises(ValueError):
+        GM_TRANSPORT.with_overrides(handler_concurrency=0)
+
+
+def test_unknown_progress_rejected():
+    with pytest.raises(ValueError, match="progress"):
+        GM_TRANSPORT.with_overrides(progress="psychic")
+
+
+def test_paper_cited_limits_in_tables():
+    from repro.util.units import GB, MB
+    assert GM_TRANSPORT.max_pin_total_bytes == 1 * GB       # §3.3
+    assert LAPI_TRANSPORT.max_pin_region_bytes == 32 * MB   # §3.2
+    assert not TCP_TRANSPORT.supports_rdma
+    # HPS is rated 8x Myrinet (§4.3).
+    ratio = GM_TRANSPORT.byte_time_us / LAPI_TRANSPORT.byte_time_us
+    assert ratio == pytest.approx(8.0, rel=0.01)
+
+
+def test_with_overrides_returns_new_frozen_instance():
+    t = GM_TRANSPORT.with_overrides(dispatch_us=2.0)
+    assert t.dispatch_us == 2.0
+    assert GM_TRANSPORT.dispatch_us != 2.0
+    with pytest.raises(Exception):
+        t.dispatch_us = 3.0  # frozen

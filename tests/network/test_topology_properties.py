@@ -1,0 +1,63 @@
+"""Property tests for the interconnect topologies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import (
+    FlatEthernet,
+    HPSSwitch,
+    MyrinetClos,
+    Torus3D,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nnodes=st.integers(2, 600), data=st.data())
+def test_property_clos_hops_symmetric_and_bounded(nnodes, data):
+    topo = MyrinetClos(nnodes, base_us=1.0, per_hop_us=0.4)
+    a = data.draw(st.integers(0, nnodes - 1))
+    b = data.draw(st.integers(0, nnodes - 1))
+    h = topo.hops(a, b)
+    assert h == topo.hops(b, a)
+    assert h in ((0,) if a == b else (1, 3, 5))
+    # Same linecard iff 1 hop.
+    if a != b:
+        assert (topo.linecard(a) == topo.linecard(b)) == (h == 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(nnodes=st.integers(2, 512), data=st.data())
+def test_property_torus_hops_metric(nnodes, data):
+    topo = Torus3D(nnodes, base_us=0.5, per_hop_us=0.1)
+    a = data.draw(st.integers(0, nnodes - 1))
+    b = data.draw(st.integers(0, nnodes - 1))
+    c = data.draw(st.integers(0, nnodes - 1))
+    # Symmetry and identity.
+    assert topo.hops(a, b) == topo.hops(b, a)
+    assert topo.hops(a, a) == 0
+    # Bounded by half the folded box perimeter.
+    bound = sum(d // 2 for d in topo.dims)
+    if a != b:
+        assert 1 <= topo.hops(a, b) <= max(1, bound)
+    # Triangle inequality (with the min-1 clamp, allow equality slack).
+    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c) + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(nnodes=st.integers(1, 600))
+def test_property_torus_folding_covers_all_nodes(nnodes):
+    topo = Torus3D(nnodes, base_us=0.5, per_hop_us=0.1)
+    x, y, z = topo.dims
+    assert x * y * z >= nnodes
+    coords = {topo.coords(n) for n in range(nnodes)}
+    assert len(coords) == nnodes  # injective
+
+
+@settings(max_examples=30, deadline=None)
+@given(nnodes=st.integers(2, 100), data=st.data())
+def test_property_flat_fabrics_uniform(nnodes, data):
+    for cls in (HPSSwitch, FlatEthernet):
+        topo = cls(nnodes, base_us=2.0, per_hop_us=0.5)
+        a = data.draw(st.integers(0, nnodes - 1))
+        b = data.draw(st.integers(0, nnodes - 1))
+        if a != b:
+            assert topo.latency(a, b) == topo.latency(0, nnodes - 1)

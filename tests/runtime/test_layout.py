@@ -1,0 +1,101 @@
+"""Unit + property tests for block-cyclic layouts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import BlockCyclicLayout, LayoutError
+from repro.runtime.layout import blocked_layout, cyclic_layout
+
+
+def test_blockcyclic_round_robin_over_blocks():
+    lay = BlockCyclicLayout(nelems=12, elem_size=4, blocksize=2, nthreads=3)
+    owners = [lay.thread_of(i) for i in range(12)]
+    assert owners == [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+
+
+def test_phase_and_block():
+    lay = BlockCyclicLayout(nelems=10, elem_size=8, blocksize=3, nthreads=2)
+    assert lay.phase_of(0) == 0
+    assert lay.phase_of(4) == 1
+    assert lay.block_of(4) == 1
+    assert lay.nblocks == 4
+
+
+def test_local_index_packs_blocks_contiguously():
+    lay = BlockCyclicLayout(nelems=12, elem_size=1, blocksize=2, nthreads=3)
+    # Thread 0 owns blocks 0 and 3 → global elements 0,1,6,7.
+    assert [lay.local_index(i) for i in (0, 1, 6, 7)] == [0, 1, 2, 3]
+    # Thread 1 owns blocks 1 and 4 → elements 2,3,8,9.
+    assert [lay.local_index(i) for i in (2, 3, 8, 9)] == [0, 1, 2, 3]
+
+
+def test_elems_of_thread_sums_to_total():
+    lay = BlockCyclicLayout(nelems=103, elem_size=4, blocksize=7, nthreads=5)
+    counts = [lay.elems_of_thread(t) for t in range(5)]
+    assert sum(counts) == 103
+
+
+def test_blocked_layout_matches_paper_field_blocking():
+    # Field: "a block size of ceil(N/THREADS)" (section 4.4).
+    lay = blocked_layout(100, 1, 8)
+    assert lay.blocksize == 13
+    assert lay.thread_of(0) == 0
+    assert lay.thread_of(99) == 99 // 13
+
+
+def test_cyclic_layout():
+    lay = cyclic_layout(10, 4, 3)
+    assert [lay.thread_of(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_contiguous_span_detection():
+    lay = BlockCyclicLayout(nelems=20, elem_size=1, blocksize=5, nthreads=2)
+    assert lay.contiguous_span(0, 5)
+    assert not lay.contiguous_span(3, 5)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(LayoutError):
+        BlockCyclicLayout(nelems=0, elem_size=1, blocksize=1, nthreads=1)
+    with pytest.raises(LayoutError):
+        BlockCyclicLayout(nelems=1, elem_size=0, blocksize=1, nthreads=1)
+    with pytest.raises(LayoutError):
+        BlockCyclicLayout(nelems=1, elem_size=1, blocksize=0, nthreads=1)
+    with pytest.raises(LayoutError):
+        BlockCyclicLayout(nelems=1, elem_size=1, blocksize=1, nthreads=0)
+
+
+def test_index_out_of_range_rejected():
+    lay = BlockCyclicLayout(nelems=10, elem_size=1, blocksize=2, nthreads=2)
+    with pytest.raises(LayoutError):
+        lay.thread_of(10)
+    with pytest.raises(LayoutError):
+        lay.local_index(-1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nelems=st.integers(1, 500),
+    blocksize=st.integers(1, 64),
+    nthreads=st.integers(1, 16),
+    elem_size=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_layout_partition_is_exact(nelems, blocksize, nthreads,
+                                            elem_size):
+    """Every element has exactly one owner; per-thread local indices
+    are dense (0..count-1) and elems_of_thread matches."""
+    lay = BlockCyclicLayout(nelems=nelems, elem_size=elem_size,
+                            blocksize=blocksize, nthreads=nthreads)
+    per_thread = {}
+    for i in range(nelems):
+        t = lay.thread_of(i)
+        per_thread.setdefault(t, []).append(lay.local_index(i))
+    total = 0
+    for t, idxs in per_thread.items():
+        assert sorted(idxs) == list(range(len(idxs))), "local indices dense"
+        assert lay.elems_of_thread(t) == len(idxs)
+        total += len(idxs)
+    assert total == nelems
+    for t in range(nthreads):
+        if t not in per_thread:
+            assert lay.elems_of_thread(t) == 0

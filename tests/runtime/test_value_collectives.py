@@ -1,0 +1,86 @@
+"""Tests for all_reduce / all_broadcast value collectives."""
+
+import pytest
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def make_rt(nthreads=8, **kw):
+    kw.setdefault("threads_per_node", 4)
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=nthreads, **kw)
+    return Runtime(cfg)
+
+
+def test_all_reduce_sum():
+    rt = make_rt()
+
+    def kernel(th):
+        total = yield from th.all_reduce(th.id)
+        return total
+
+    procs = rt.spawn(kernel)
+    rt.run()
+    assert all(p.value == sum(range(8)) for p in procs)
+
+
+def test_all_reduce_custom_op():
+    rt = make_rt()
+
+    def kernel(th):
+        biggest = yield from th.all_reduce(th.id * 7 % 5, op=max)
+        return biggest
+
+    procs = rt.spawn(kernel)
+    rt.run()
+    expect = max(t * 7 % 5 for t in range(8))
+    assert all(p.value == expect for p in procs)
+
+
+def test_all_reduce_sequence_of_collectives():
+    rt = make_rt(nthreads=4)
+
+    def kernel(th):
+        a = yield from th.all_reduce(1)
+        b = yield from th.all_reduce(th.id)
+        c = yield from th.all_reduce(a + b, op=min)
+        return (a, b, c)
+
+    procs = rt.spawn(kernel)
+    rt.run()
+    assert all(p.value == (4, 6, 10) for p in procs)
+
+
+def test_all_broadcast_from_thread0():
+    rt = make_rt()
+
+    def kernel(th):
+        v = yield from th.all_broadcast("the-plan" if th.id == 0 else None)
+        return v
+
+    procs = rt.spawn(kernel)
+    rt.run()
+    assert all(p.value == "the-plan" for p in procs)
+
+
+def test_collectives_advance_virtual_time():
+    rt = make_rt()
+
+    def kernel(th):
+        yield from th.all_reduce(1)
+
+    rt.spawn(kernel)
+    res = rt.run()
+    assert res.elapsed_us > 0
+
+
+def test_reduce_on_single_thread_runtime():
+    rt = make_rt(nthreads=1, threads_per_node=1)
+
+    def kernel(th):
+        v = yield from th.all_reduce(42)
+        return v
+
+    procs = rt.spawn(kernel)
+    rt.run()
+    assert procs[0].value == 42

@@ -1,0 +1,23 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_runs_one_quick_figure(capsys):
+    assert main(["fig6_get", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6 (left)" in out
+    assert "gm_pct" in out
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig42"])
+
+
+def test_cli_miss_overhead(capsys):
+    assert main(["miss_overhead", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead_pct" in out

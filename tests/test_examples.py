@@ -1,0 +1,66 @@
+"""Smoke tests: the shipped examples must keep running end-to-end.
+
+The faster examples run their full ``main()``; the slower two are
+executed as subprocesses only when REPRO_RUN_SLOW_EXAMPLES=1 (they
+take several seconds each) and import-checked otherwise.
+"""
+
+import importlib.util
+import os
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_quickstart_runs(capsys):
+    load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "improvement" in out
+    assert "cache:" in out
+
+
+def test_heat_stencil_verifies_against_numpy(capsys):
+    load("heat_stencil").main()
+    out = capsys.readouterr().out
+    assert "verified against the serial NumPy reference" in out
+
+
+def test_tiled_matmul_verifies(capsys):
+    load("tiled_matmul").main()
+    out = capsys.readouterr().out
+    assert "verified against numpy" in out
+
+
+def test_pipelined_reduction_composes(capsys):
+    load("pipelined_reduction").main()
+    out = capsys.readouterr().out
+    assert "identical in all three runs" in out
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_SLOW_EXAMPLES", "") in ("", "0"),
+    reason="slow examples only with REPRO_RUN_SLOW_EXAMPLES=1")
+@pytest.mark.parametrize("name", ["random_access", "distributed_grep"])
+def test_slow_examples_run(name):
+    import subprocess
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / f"{name}.py")],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+
+
+@pytest.mark.parametrize("name", ["random_access", "distributed_grep"])
+def test_slow_examples_importable(name):
+    mod = load(name)
+    assert hasattr(mod, "main")

@@ -1,0 +1,119 @@
+"""Tests for the Paraver-style tracer and its runtime integration."""
+
+import pytest
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+from repro.trace import (
+    StateRecord,
+    Tracer,
+    find_outliers,
+    profile,
+    render_profile,
+)
+from repro.workloads import FieldParams, run_field
+
+
+def test_record_and_query():
+    t = Tracer()
+    t.record(0, "compute", 0.0, 5.0)
+    t.record(1, "get:am", 5.0, 9.0)
+    t.record(0, "compute", 9.0, 10.0)
+    assert len(t) == 3
+    assert len(t.by_state("compute")) == 2
+    assert len(t.by_thread(1)) == 1
+    assert t.by_state("get:am")[0].duration == 4.0
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        StateRecord(thread=0, state="x", t0=5.0, t1=3.0)
+
+
+def test_max_records_bounds_memory():
+    t = Tracer(max_records=2)
+    for i in range(5):
+        t.record(0, "compute", i, i + 1)
+    assert len(t) == 2
+    assert t.dropped_records == 3
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer()
+    t.enabled = False
+    t.record(0, "compute", 0, 1)
+    assert len(t) == 0
+
+
+def test_profile_time_by_state():
+    t = Tracer()
+    t.record(0, "compute", 0, 8)
+    t.record(0, "get:am", 8, 10)
+    prof = profile(t)
+    assert prof.total_time == 10.0
+    assert prof.fraction("compute") == pytest.approx(0.8)
+    assert prof.fraction("get:am") == pytest.approx(0.2)
+    assert prof.fraction("missing") == 0.0
+
+
+def test_find_outliers():
+    t = Tracer()
+    for i in range(10):
+        t.record(0, "get:am", i, i + 1.0)   # duration 1
+    t.record(0, "get:am", 100, 150)         # duration 50: outlier
+    out = find_outliers(t, "get:am", factor=4.0)
+    assert len(out) == 1
+    assert out[0].duration == 50.0
+    assert find_outliers(t, "nothing") == []
+
+
+def test_render_profile_is_tabular():
+    t = Tracer()
+    t.record(0, "compute", 0, 4)
+    text = render_profile(t)
+    assert "compute" in text and "share" in text
+
+
+def test_runtime_integration_records_ops():
+    tracer = Tracer()
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=8,
+                        threads_per_node=4, tracer=tracer, seed=1)
+    rt = Runtime(cfg)
+
+    def kernel(th):
+        arr = yield from th.all_alloc(64, blocksize=8, dtype="u4")
+        yield from th.barrier()
+        yield from th.compute(3.0)
+        if th.id == 0:
+            yield from th.get(arr, 40)   # remote: am (first touch)
+            yield from th.get(arr, 41)   # remote: rdma (hit)
+            yield from th.get(arr, 1)    # local
+            yield from th.get(arr, 10)   # shm
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    rt.run()
+    states = {r.state for r in tracer}
+    assert {"compute", "barrier", "get:am", "get:rdma", "get:local",
+            "get:shm"} <= states
+    # The RDMA get must be faster than the AM get it followed.
+    am = tracer.by_state("get:am")[0]
+    rdma = tracer.by_state("get:rdma")[0]
+    assert rdma.duration < am.duration
+
+
+def test_paraver_finding_field_overhang_outliers():
+    """Reproduce the paper's trace analysis: uncached Field on GM has
+    abnormally large overhang GETs (section 4.6)."""
+    tracer = Tracer()
+    params = FieldParams(
+        machine=GM_MARENOSTRUM, nthreads=16, threads_per_node=4,
+        cache_enabled=False, seed=1, nelems=16 * 1024,
+        ntokens=6, tracer=tracer)
+    run_field(params)
+    get_states = [r for r in tracer
+                  if r.state in ("get:am", "get:rdma")]
+    assert get_states, "field must do remote gets"
+    durations = sorted(r.duration for r in get_states)
+    # Heavy tail: the slowest uncached overhang GET dwarfs the median.
+    assert durations[-1] > 4 * durations[len(durations) // 2]

@@ -1,0 +1,83 @@
+"""Property and unit tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.quantiles import LatencyDigest, P2Quantile
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_exact_for_few_samples():
+    q = P2Quantile(0.5)
+    assert q.value == 0.0
+    for x in (5.0, 1.0, 3.0):
+        q.add(x)
+    assert q.value == 3.0   # exact median of 3 samples
+
+
+def test_median_of_uniform_stream():
+    rng = np.random.default_rng(1)
+    data = rng.random(20_000)
+    q = P2Quantile(0.5)
+    for x in data:
+        q.add(float(x))
+    assert q.value == pytest.approx(0.5, abs=0.03)
+
+
+def test_p99_of_exponential_stream():
+    rng = np.random.default_rng(2)
+    data = rng.exponential(1.0, 50_000)
+    q = P2Quantile(0.99)
+    for x in data:
+        q.add(float(x))
+    true = float(np.quantile(data, 0.99))
+    assert q.value == pytest.approx(true, rel=0.15)
+
+
+def test_monotone_stream_exact():
+    q = P2Quantile(0.5)
+    for x in range(1, 1002):
+        q.add(float(x))
+    assert q.value == pytest.approx(501.0, rel=0.02)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=5, max_size=400),
+       st.sampled_from([0.25, 0.5, 0.9]))
+def test_property_estimate_within_observed_range(data, qq):
+    q = P2Quantile(qq)
+    for x in data:
+        q.add(x)
+    assert min(data) <= q.value <= max(data)
+    assert q.count == len(data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_reasonable_accuracy_on_normal(seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(100.0, 15.0, 5_000)
+    q = P2Quantile(0.95)
+    for x in data:
+        q.add(float(x))
+    true = float(np.quantile(data, 0.95))
+    assert abs(q.value - true) < 5.0  # ~0.3 sigma tolerance
+
+
+def test_latency_digest_bundle():
+    d = LatencyDigest()
+    for x in range(1, 1001):
+        d.add(float(x))
+    assert d.count == 1000
+    assert d.p50.value == pytest.approx(500, rel=0.05)
+    assert d.p95.value == pytest.approx(950, rel=0.05)
+    assert d.p99.value == pytest.approx(990, rel=0.05)
+    assert "p99" in d.summary()

@@ -1,0 +1,79 @@
+"""Tests for the GET/PUT microbenchmarks."""
+
+import pytest
+
+from repro.network import GM_MARENOSTRUM, LAPI_POWER5
+from repro.util.stats import improvement_pct
+from repro.workloads.micro import (
+    FIG6_SIZES,
+    FIG7_SIZES,
+    MicroParams,
+    get_roundtrip_us,
+    put_overhead_us,
+)
+
+
+def test_size_lists_match_paper_axes():
+    assert FIG6_SIZES[0] == 1
+    assert FIG6_SIZES[-1] == 4_194_304
+    assert FIG7_SIZES[-1] == 8192
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        MicroParams(machine=GM_MARENOSTRUM, msg_bytes=0, cache_enabled=True)
+    with pytest.raises(ValueError):
+        MicroParams(machine=GM_MARENOSTRUM, msg_bytes=8,
+                    cache_enabled=True, reps=0)
+
+
+def test_get_latency_deterministic():
+    p = MicroParams(machine=GM_MARENOSTRUM, msg_bytes=64,
+                    cache_enabled=True, reps=5)
+    assert get_roundtrip_us(p) == get_roundtrip_us(p)
+
+
+def test_get_latency_monotone_in_size():
+    def lat(n):
+        return get_roundtrip_us(MicroParams(
+            machine=GM_MARENOSTRUM, msg_bytes=n, cache_enabled=False,
+            reps=5))
+
+    assert lat(16) <= lat(1024) <= lat(65536)
+
+
+def test_cached_get_faster_both_platforms():
+    for machine in (GM_MARENOSTRUM, LAPI_POWER5):
+        z = get_roundtrip_us(MicroParams(machine=machine, msg_bytes=8,
+                                         cache_enabled=False, reps=5))
+        w = get_roundtrip_us(MicroParams(machine=machine, msg_bytes=8,
+                                         cache_enabled=True, reps=5))
+        assert w < z
+
+
+def test_put_regression_on_lapi_small():
+    # The Figure 6 right-panel effect.
+    z = put_overhead_us(MicroParams(machine=LAPI_POWER5, msg_bytes=16,
+                                    cache_enabled=False, reps=5))
+    w = put_overhead_us(MicroParams(machine=LAPI_POWER5, msg_bytes=16,
+                                    cache_enabled=True, reps=5))
+    assert improvement_pct(z, w) < -100.0
+
+
+def test_put_neutral_on_gm_small():
+    z = put_overhead_us(MicroParams(machine=GM_MARENOSTRUM, msg_bytes=16,
+                                    cache_enabled=False, reps=5))
+    w = put_overhead_us(MicroParams(machine=GM_MARENOSTRUM, msg_bytes=16,
+                                    cache_enabled=True, reps=5))
+    assert abs(improvement_pct(z, w)) < 12.0
+
+
+def test_roundtrip_in_paper_latency_range():
+    # Figure 7: small-message GETs are tens of microseconds, with the
+    # network round trip itself 4-8us.
+    z = get_roundtrip_us(MicroParams(machine=GM_MARENOSTRUM, msg_bytes=1,
+                                     cache_enabled=False, reps=5))
+    assert 10.0 < z < 30.0
+    z = get_roundtrip_us(MicroParams(machine=LAPI_POWER5, msg_bytes=1,
+                                     cache_enabled=False, reps=5))
+    assert 8.0 < z < 20.0

@@ -1,0 +1,50 @@
+"""Tests for the Transitive Closure stressmark (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.network import GM_MARENOSTRUM, LAPI_POWER5
+from repro.workloads import TransitiveParams, run_transitive
+
+GM = dict(machine=GM_MARENOSTRUM, nthreads=8, threads_per_node=4)
+
+
+def test_closure_matches_numpy_reference():
+    r = run_transitive(TransitiveParams(**GM, nverts=32, density=0.05,
+                                        seed=4))
+    ok, reachable = r.check
+    assert ok
+    # Sparse graph: the closure must be non-trivial (not empty, not
+    # complete).
+    assert 32 < reachable < 32 * 32
+
+
+def test_functional_equivalence_and_speedup():
+    from dataclasses import replace
+    p = TransitiveParams(**GM, nverts=32, density=0.06, seed=2)
+    on = run_transitive(p)
+    off = run_transitive(replace(p, cache_enabled=False))
+    assert on.check == off.check and on.check[0]
+    assert on.elapsed_us < off.elapsed_us
+
+
+def test_rotating_source_keeps_cache_hot():
+    r = run_transitive(TransitiveParams(
+        machine=GM_MARENOSTRUM, nthreads=16, threads_per_node=4,
+        nverts=64, density=0.05, seed=1))
+    assert r.check[0]
+    assert r.hit_rate > 0.8
+
+
+def test_runs_on_lapi():
+    r = run_transitive(TransitiveParams(
+        machine=LAPI_POWER5, nthreads=8, threads_per_node=4,
+        nverts=24, density=0.1, seed=7))
+    assert r.check[0]
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        TransitiveParams(**GM, nverts=4)          # fewer rows than threads
+    with pytest.raises(ValueError):
+        TransitiveParams(**GM, nverts=32, density=1.5)
