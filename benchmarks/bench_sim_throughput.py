@@ -22,7 +22,10 @@ def test_sim_event_throughput(benchmark):
     events = result.run.sim_events
     assert events > 10_000
     per_sec = events / benchmark.stats["mean"]
+    per_op = events / result.run.metrics.remote_ops
     print(f"\n  simulator throughput: {per_sec:,.0f} events/s "
           f"({events} events per run)")
+    print(f"  event efficiency: {per_op:.1f} events per remote op "
+          f"({result.run.metrics.remote_ops} remote ops)")
     # Regression guard, generous for slow CI machines.
     assert per_sec > 5_000

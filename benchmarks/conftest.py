@@ -21,6 +21,9 @@ FULL = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
 GM_BENCH_SCALES = [(8, 2), (32, 8), (128, 32)]
 LAPI_BENCH_SCALES = [(4, 2), (32, 2), (128, 8)]
 FIG8_BENCH_SCALES = [(8, 2), (32, 8), (128, 32), (512, 128)]
+#: Remote-block counts for the bulk-pipeline sweep
+#: (``bench_bulk_pipeline``).
+BULK_BENCH_BLOCKS = [4, 16, 64]
 
 if FULL:  # pragma: no cover - opt-in big sweep
     from repro.experiments import GM_SCALES, LAPI_SCALES
@@ -28,6 +31,7 @@ if FULL:  # pragma: no cover - opt-in big sweep
     GM_BENCH_SCALES = GM_SCALES
     LAPI_BENCH_SCALES = LAPI_SCALES
     FIG8_BENCH_SCALES = GM_SCALES
+    BULK_BENCH_BLOCKS = [4, 16, 64, 256]
 
 
 @pytest.fixture

@@ -53,7 +53,8 @@ class RemoteAddressCache:
     """
 
     __slots__ = ("capacity", "policy", "stats", "_table", "_rng",
-                 "lookup_cost_us", "insert_cost_us", "enabled")
+                 "lookup_cost_us", "insert_cost_us", "enabled",
+                 "_by_handle", "_keys", "_pos")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  policy: EvictionPolicy = EvictionPolicy.LRU,
@@ -67,6 +68,13 @@ class RemoteAddressCache:
         self.policy = policy
         self.stats = CacheStats()
         self._table: "OrderedDict[Key, int]" = OrderedDict()
+        #: Secondary index handle -> keys, so eager invalidation on
+        #: free costs O(entries for that handle), not a full-table scan.
+        self._by_handle: Dict[Hashable, set] = {}
+        #: Dense key list + position map for O(1) swap-remove — RANDOM
+        #: eviction draws a victim without materialising the table.
+        self._keys: list = []
+        self._pos: Dict[Key, int] = {}
         self._rng = seeded_rng(seed, 0xCACE)
         self.lookup_cost_us = lookup_cost_us
         self.insert_cost_us = insert_cost_us
@@ -80,6 +88,27 @@ class RemoteAddressCache:
 
     def __contains__(self, key: Key) -> bool:
         return key in self._table
+
+    # -- secondary indices ----------------------------------------------
+
+    def _index_add(self, key: Key) -> None:
+        self._by_handle.setdefault(key[0], set()).add(key)
+        self._pos[key] = len(self._keys)
+        self._keys.append(key)
+
+    def _index_discard(self, key: Key) -> None:
+        keys = self._by_handle.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_handle[key[0]]
+        # Swap-remove from the dense list: move the tail key into the
+        # vacated slot so deletion stays O(1).
+        pos = self._pos.pop(key)
+        tail = self._keys.pop()
+        if tail != key:
+            self._keys[pos] = tail
+            self._pos[tail] = pos
 
     # -- operations -----------------------------------------------------
 
@@ -119,34 +148,48 @@ class RemoteAddressCache:
         if len(self._table) >= self.capacity:
             self._evict_one()
         self._table[key] = base_addr
+        self._index_add(key)
         self.stats.insertions += 1
         return cost
 
     def _evict_one(self) -> None:
         self.stats.evictions += 1
         if self.policy is EvictionPolicy.RANDOM:
-            victim = list(self._table)[int(self._rng.integers(len(self._table)))]
+            victim = self._keys[int(self._rng.integers(len(self._keys)))]
             del self._table[victim]
         else:
             # LRU keeps recency order via move_to_end; FIFO never
             # reorders — either way the head is the victim.
-            self._table.popitem(last=False)
+            victim, _ = self._table.popitem(last=False)
+        self._index_discard(victim)
 
     # -- invalidation ------------------------------------------------------
 
     def invalidate_handle(self, handle: Hashable) -> int:
         """Eager invalidation on deallocation (section 3.1): drop every
-        entry of ``handle`` regardless of node.  Returns entries dropped."""
-        doomed = [k for k in self._table if k[0] == handle]
-        for key in doomed:
+        entry of ``handle`` regardless of node.  Returns entries dropped.
+
+        Served from the per-handle index — O(entries for this handle)
+        rather than a scan of the whole table, which matters when frees
+        are frequent and the table is at capacity.
+        """
+        doomed = self._by_handle.get(handle)
+        if not doomed:
+            return 0
+        n = len(doomed)
+        for key in list(doomed):
             del self._table[key]
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+            self._index_discard(key)
+        self.stats.invalidations += n
+        return n
 
     def invalidate_all(self) -> int:
         """Drop everything (runtime teardown)."""
         n = len(self._table)
         self._table.clear()
+        self._by_handle.clear()
+        self._keys.clear()
+        self._pos.clear()
         self.stats.invalidations += n
         return n
 

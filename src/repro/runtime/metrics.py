@@ -44,6 +44,22 @@ class RuntimeMetrics:
 
     compute_time_us: float = 0.0
 
+    #: Bulk-transfer engine accounting (memget/memput/gather through
+    #: :class:`~repro.runtime.bulk.BulkEngine`).
+    bulk_transfers: int = 0
+    #: Affine segments the engine planned (wire + intra-node).
+    bulk_segments: int = 0
+    #: Remote wire messages actually issued.
+    bulk_messages: int = 0
+    #: Segments that merged into an already-open message.
+    bulk_coalesced_segments: int = 0
+    #: Modeled control-message bytes avoided by coalescing (one
+    #: request/reply pair per merged segment).
+    bulk_bytes_saved: int = 0
+    #: In-flight remote messages sampled at each issue — the achieved
+    #: pipeline depth (mean/max).
+    bulk_depth: RunningStats = field(default_factory=RunningStats)
+
     def record_get(self, kind: str, latency_us: float) -> None:
         {"local": self.get_local, "shm": self.get_shm,
          "remote": self.get_remote}[kind].add(latency_us)
@@ -77,6 +93,9 @@ class RuntimeMetrics:
             "rdma_fraction": self.rdma_fraction,
             "barriers": self.barriers,
             "compute_time_us": self.compute_time_us,
+            "bulk_messages": self.bulk_messages,
+            "bulk_coalesced_segments": self.bulk_coalesced_segments,
+            "bulk_mean_depth": self.bulk_depth.mean,
         }
 
 

@@ -93,6 +93,34 @@ class OpEngine:
         self._trace(thread, f"get:{proto}", t0)
         return array.read(index, nelems)
 
+    def bulk_get(self, thread: "UPCThread", array: SharedArray,
+                 node_id: int, segments, nbytes: int):
+        """One coalesced wire GET on behalf of the bulk engine.
+
+        ``segments`` is a list of ``(start, count)`` affine segments
+        that the engine has already verified to live back-to-back in
+        ``node_id``'s arena, so the whole message is a single
+        ``base + offset`` RDMA-able range.  Protocol choice (RDMA fast
+        path vs. default AM) is decided here, per destination, exactly
+        as for a scalar GET.  Returns one NumPy array per segment.
+        """
+        rt = self.rt
+        sim = rt.sim
+        t0 = sim.now
+        self._check_live(array)
+        yield sim.timeout(self.params.o_sw_us)
+        src = thread.node
+        dst = rt.cluster.node(node_id)
+        src.progress.enter_runtime()
+        try:
+            proto = yield from self._remote_get(
+                thread, src, dst, array, segments[0][0], nbytes)
+        finally:
+            src.progress.leave_runtime()
+        rt.metrics.record_get("remote", sim.now - t0)
+        self._trace(thread, f"get:{proto}", t0)
+        return [array.read(start, count) for start, count in segments]
+
     def _remote_get(self, thread: "UPCThread", src: Node, dst: Node,
                     array: SharedArray, index: int, nbytes: int):
         rt = self.rt
@@ -185,7 +213,33 @@ class OpEngine:
         src.progress.enter_runtime()
         try:
             ticket, proto = yield from self._remote_put(
-                thread, src, dst, array, index, values, nbytes)
+                thread, src, dst, array, [(index, values)], nbytes)
+        finally:
+            src.progress.leave_runtime()
+        rt.metrics.record_put("remote", sim.now - t0)
+        self._trace(thread, f"put:{proto}", t0)
+        return ticket
+
+    def bulk_put(self, thread: "UPCThread", array: SharedArray,
+                 node_id: int, pairs, nbytes: int):
+        """One coalesced wire PUT on behalf of the bulk engine.
+
+        ``pairs`` is a list of ``(start, values)`` affine segments,
+        back-to-back in ``node_id``'s arena.  Locally complete on
+        return (relaxed); remote application — of every constituent
+        segment at once — is tracked for fence/barrier.
+        """
+        rt = self.rt
+        sim = rt.sim
+        t0 = sim.now
+        self._check_live(array)
+        yield sim.timeout(self.params.o_sw_us)
+        src = thread.node
+        dst = rt.cluster.node(node_id)
+        src.progress.enter_runtime()
+        try:
+            ticket, proto = yield from self._remote_put(
+                thread, src, dst, array, pairs, nbytes)
         finally:
             src.progress.leave_runtime()
         rt.metrics.record_put("remote", sim.now - t0)
@@ -193,12 +247,15 @@ class OpEngine:
         return ticket
 
     def _remote_put(self, thread: "UPCThread", src: Node, dst: Node,
-                    array: SharedArray, index: int, values: np.ndarray,
-                    nbytes: int):
+                    array: SharedArray, pairs, nbytes: int):
+        """Issue one wire PUT covering ``pairs`` — a list of
+        ``(index, values)`` segments contiguous in the target arena
+        (a single-segment list for the scalar path)."""
         rt = self.rt
         sim = rt.sim
         cache = rt.addr_cache(src.id)
-        snapshot = values.copy()
+        index = pairs[0][0]
+        snapshots = [(i, np.asarray(v).copy()) for i, v in pairs]
 
         if rt.use_rdma_put:
             base, cost = cache.lookup(array.handle, dst.id)
@@ -208,7 +265,7 @@ class OpEngine:
                 rt.metrics.rdma_puts += 1
                 ticket = yield from rt.cluster.transport.rdma_put(
                     src, dst, nbytes)
-                self._apply_on(ticket.remote_applied, array, index, snapshot)
+                self._apply_on(ticket.remote_applied, array, snapshots)
                 thread.track_put(ticket.remote_applied)
                 return ticket, "rdma"
 
@@ -224,18 +281,22 @@ class OpEngine:
         ticket = yield from rt.cluster.transport.default_put(
             src, dst, nbytes, handler,
             src_addr=src.memory.base, dst_addr=dst_vaddr)
-        self._apply_on(ticket.remote_applied, array, index, snapshot)
+        self._apply_on(ticket.remote_applied, array, snapshots)
         thread.track_put(ticket.remote_applied)
         if want_addr:
             self._insert_on_ack(ticket.remote_applied, src, dst, array)
         return ticket, "am"
 
-    def _apply_on(self, remote_applied, array: SharedArray, index: int,
-                  snapshot: np.ndarray) -> None:
-        """Write the snapshot into the data plane when the target
+    def _apply_on(self, remote_applied, array: SharedArray,
+                  snapshots) -> None:
+        """Write the snapshots into the data plane when the target
         observes the put."""
-        remote_applied.add_callback(
-            lambda ev: array.write(index, snapshot))
+
+        def _apply(ev):
+            for index, snapshot in snapshots:
+                array.write(index, snapshot)
+
+        remote_applied.add_callback(_apply)
 
     def _insert_on_ack(self, remote_applied, src: Node, dst: Node,
                        array: SharedArray) -> None:

@@ -44,6 +44,7 @@ from repro.core.policy import DEFAULT_CHUNK_BYTES, PinningPolicy
 from repro.core.stats import CacheStats
 from repro.network.cluster import Cluster
 from repro.network.params import MachineParams
+from repro.runtime.bulk import BulkEngine
 from repro.runtime.collectives import BarrierManager, Broadcaster, Reducer
 from repro.runtime.errors import UPCRuntimeError
 from repro.runtime.handle import ALL_PARTITION
@@ -84,6 +85,17 @@ class RuntimeConfig:
     piggyback: PiggybackConfig = field(default_factory=PiggybackConfig)
     #: None = platform default (GM: RDMA PUTs on; LAPI: off, 4.3).
     use_rdma_put: Optional[bool] = None
+    #: Bulk-transfer engine switch: False falls back to the serial
+    #: per-segment memget/memput/gather loops (escape hatch used by
+    #: baselines and degenerate-behaviour tests).
+    bulk_enabled: bool = True
+    #: Max in-flight wire messages per bulk operation (sliding window
+    #: with completion-driven refill; 1 = strictly serial issue).
+    bulk_max_inflight: int = 8
+    #: Coalesce arena-contiguous same-destination segments into single
+    #: wire messages up to this many bytes (0 disables coalescing; a
+    #: single segment is never split, whatever its size).
+    bulk_max_coalesce_bytes: int = 64 * 1024
     seed: int = 0
     #: Optional Paraver-style tracer (see :mod:`repro.trace`).
     tracer: Optional[object] = None
@@ -94,6 +106,14 @@ class RuntimeConfig:
         tpn = self.threads_per_node
         if tpn is not None and tpn < 1:
             raise UPCRuntimeError(f"threads_per_node must be >= 1, got {tpn}")
+        if self.bulk_max_inflight < 1:
+            raise UPCRuntimeError(
+                f"bulk_max_inflight must be >= 1, got "
+                f"{self.bulk_max_inflight}")
+        if self.bulk_max_coalesce_bytes < 0:
+            raise UPCRuntimeError(
+                f"bulk_max_coalesce_bytes must be >= 0, got "
+                f"{self.bulk_max_coalesce_bytes}")
 
     @property
     def effective_threads_per_node(self) -> int:
@@ -143,6 +163,7 @@ class Runtime:
         self.handles = HandleAllocator(config.nthreads)
         self.metrics = RuntimeMetrics()
         self.ops = OpEngine(self)
+        self.bulk = BulkEngine(self)
         self.barrier_mgr = BarrierManager(self)
         self.broadcaster = Broadcaster(self)
         self.reducer = Reducer(self)
@@ -443,6 +464,12 @@ class Runtime:
             f"  collectives: {m.barriers} barriers, "
             f"{m.allocations} allocations, {m.frees} frees, "
             f"{m.lock_acquires} lock acquisitions",
+            f"  bulk engine: {m.bulk_transfers} transfers, "
+            f"{m.bulk_segments} segments -> {m.bulk_messages} messages "
+            f"({m.bulk_coalesced_segments} coalesced, "
+            f"{m.bulk_bytes_saved} B overhead saved), pipeline depth "
+            f"mean={m.bulk_depth.mean:.1f} "
+            f"max={m.bulk_depth.max if m.bulk_depth.n else 0:.0f}",
         ]
         for node in self.cluster.nodes[:8]:
             assert node.progress is not None

@@ -142,20 +142,33 @@ class UPCThread:
         result = yield AllOf(self.runtime.sim, handles)
         return result
 
-    def gather(self, array: SharedArray, indices, width: int = 8):
-        """Fetch ``array[i]`` for every ``i`` in ``indices`` with up to
-        ``width`` GETs in flight — message pipelining over the same
-        machinery the blocking ops use.  Returns the values in input
-        order."""
+    def gather(self, array: SharedArray, indices, width: int = 8,
+               nelems: int = 1):
+        """Fetch ``array[i : i+nelems]`` for every ``i`` in ``indices``
+        with up to ``width`` transfers in flight.  Returns the values
+        in input order.
+
+        Contract: with ``nelems == 1`` (the default) each entry is a
+        NumPy *scalar*; with ``nelems > 1`` each entry is the fetched
+        array — the old implementation silently returned only ``v[0]``.
+        Through the bulk engine the window refills on every completion
+        (a sliding window) and adjacent same-destination reads coalesce
+        into single wire messages; the legacy path (engine off) keeps
+        the lock-step batch behaviour.
+        """
         indices = list(indices)
+        if self.runtime.config.bulk_enabled:
+            vals = yield from self.runtime.bulk.get_spans(
+                self, array, [(i, nelems) for i in indices], window=width)
+            return [v[0] for v in vals] if nelems == 1 else vals
         out = [None] * len(indices)
         pos = 0
         while pos < len(indices):
             batch = indices[pos:pos + width]
-            handles = [self.get_nb(array, i) for i in batch]
+            handles = [self.get_nb(array, i, nelems) for i in batch]
             values = yield from self.wait_all(handles)
             for k, v in enumerate(values):
-                out[pos + k] = v[0]
+                out[pos + k] = v[0] if nelems == 1 else v
             pos += len(batch)
         return out
 
@@ -163,9 +176,15 @@ class UPCThread:
         """``upc_memget``-style bulk read of a contiguous span.
 
         A span crossing block (affinity) boundaries is split into one
-        transfer per owning block, exactly as the real runtime issues
-        one message per affine region.
+        transfer per owning block; through the bulk engine the
+        per-block transfers are coalesced per destination node and
+        pipelined under a bounded in-flight window (engine off: one
+        blocking round trip per block, in order).
         """
+        if self.runtime.config.bulk_enabled:
+            out = yield from self.runtime.bulk.get_spans(
+                self, array, [(index, nelems)])
+            return out[0]
         pieces = []
         for start, count in self._segments(array, index, nelems):
             out = yield from self.runtime.ops.get(self, array, start,
@@ -174,13 +193,44 @@ class UPCThread:
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
     def memput(self, array: SharedArray, index: int, values):
-        """``upc_memput``-style bulk write (split per affine block)."""
+        """``upc_memput``-style bulk write (split per affine block,
+        coalesced + pipelined by the bulk engine; locally complete on
+        return, ordered by fence/barrier either way)."""
+        if self.runtime.config.bulk_enabled:
+            yield from self.runtime.bulk.put_spans(
+                self, array, [(index, values)])
+            return
         values = np.asarray(values, dtype=array.dtype).ravel()
         offset = 0
         for start, count in self._segments(array, index, len(values)):
             yield from self.runtime.ops.put(
                 self, array, start, values[offset:offset + count], count)
             offset += count
+
+    def memget_v(self, array: SharedArray, spans):
+        """Vectored bulk read: fetch every ``(index, nelems)`` span in
+        one engine pass, so segments of *different* spans bound for the
+        same node coalesce (e.g. the rows of one remote tile become a
+        single wire message).  Returns one array per span, in order."""
+        if self.runtime.config.bulk_enabled:
+            out = yield from self.runtime.bulk.get_spans(self, array,
+                                                         list(spans))
+            return out
+        out = []
+        for index, nelems in spans:
+            piece = yield from self.memget(array, index, nelems)
+            out.append(np.atleast_1d(piece))
+        return out
+
+    def memput_v(self, array: SharedArray, puts):
+        """Vectored bulk write of ``(index, values)`` pairs — the PUT
+        mirror of :meth:`memget_v` (relaxed; order with fence)."""
+        if self.runtime.config.bulk_enabled:
+            yield from self.runtime.bulk.put_spans(self, array,
+                                                   list(puts))
+            return
+        for index, values in puts:
+            yield from self.memput(array, index, values)
 
     @staticmethod
     def _segments(array: SharedArray, index: int, nelems: int):

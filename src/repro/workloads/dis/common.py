@@ -27,6 +27,11 @@ class DISBase:
     pin_chunk_bytes: int = DEFAULT_CHUNK_BYTES
     piggyback: PiggybackConfig = field(default_factory=PiggybackConfig)
     use_rdma_put: Optional[bool] = None
+    #: Bulk-transfer engine knobs (pipelined memget/memput; see
+    #: :mod:`repro.runtime.bulk`).
+    bulk_enabled: bool = True
+    bulk_max_inflight: int = 8
+    bulk_max_coalesce_bytes: int = 64 * 1024
     seed: int = 0
     #: Optional Paraver-style tracer (see :mod:`repro.trace`).
     tracer: Optional[Any] = None
@@ -43,6 +48,9 @@ class DISBase:
             pin_chunk_bytes=self.pin_chunk_bytes,
             piggyback=self.piggyback,
             use_rdma_put=self.use_rdma_put,
+            bulk_enabled=self.bulk_enabled,
+            bulk_max_inflight=self.bulk_max_inflight,
+            bulk_max_coalesce_bytes=self.bulk_max_coalesce_bytes,
             seed=self.seed,
             tracer=self.tracer,
         )

@@ -66,16 +66,21 @@ def run_corner_turn(p: CornerTurnParams) -> DISResult:
                 continue
             ti, tj = divmod(tile_idx, tiles)
             # Destination tile (ti, tj) = transpose of source (tj, ti).
+            # All rows of a tile are contiguous in the owner's arena,
+            # so the vectored calls let the bulk engine coalesce the
+            # whole tile into one wire message per direction (and
+            # pipeline the residue when it exceeds the coalesce cap).
             block = np.empty((p.tile, p.tile))
+            rows = yield from th.memget_v(a, [
+                a.row_segment(tj * p.tile + dr, ti * p.tile, p.tile)
+                for dr in range(p.tile)])
             for dr in range(p.tile):
-                row = yield from th.memget_row(
-                    a, tj * p.tile + dr, ti * p.tile, p.tile)
-                block[:, dr] = row
+                block[:, dr] = rows[dr]
             yield from th.compute(p.tile * p.tile * p.work_us_per_elem)
-            for dr in range(p.tile):
-                start, _ = b.row_segment(ti * p.tile + dr,
-                                         tj * p.tile, p.tile)
-                yield from th.memput(b, start, block[dr])
+            yield from th.memput_v(b, [
+                (b.row_segment(ti * p.tile + dr, tj * p.tile, p.tile)[0],
+                 block[dr])
+                for dr in range(p.tile)])
         yield from th.barrier()
         return None
 

@@ -132,6 +132,10 @@ def run_field(p: FieldParams) -> DISResult:
             # overhang wraps to thread 0) so every thread's search
             # space — and hence every node's communication behaviour —
             # is identical.
+            # The overhang never exceeds one block, so this memget is a
+            # single affine segment: the bulk engine passes it through
+            # as exactly one message and the calibrated Figure 6/7
+            # timings are unchanged.
             over_start = hi % p.nelems
             width = min(p.token_len - 1,
                         arr.layout.blocksize, p.nelems - over_start)

@@ -73,6 +73,10 @@ def run_transitive(p: TransitiveParams) -> DISResult:
         mine = adj[lo:hi].copy()
         for k in range(n):
             # Fetch row k from its owner (remote unless it is ours).
+            # Each row lives inside one block, so these transfers are
+            # single-segment bulk-engine pass-throughs — one message
+            # each, timing identical to the serial path (keeps the
+            # paper-figure calibration intact).
             row_k = yield from th.memget(mat, k * n, n)
             row_k = row_k.astype(bool)
             if hi > lo:

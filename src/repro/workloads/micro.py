@@ -82,6 +82,10 @@ def get_roundtrip_us(p: MicroParams) -> float:
         yield from th.barrier()
         if th.id == 0:
             remote_index = blocksize  # first element of thread 1
+            # Each transfer sits inside thread 1's block — a single
+            # affine segment, which the bulk engine never splits or
+            # merges, so the calibrated microbenchmark latencies are
+            # byte-for-byte those of the serial path.
             for _ in range(p.warmup):
                 yield from th.memget(arr, remote_index, p.msg_bytes)
             t0 = th.runtime.sim.now

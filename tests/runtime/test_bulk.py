@@ -71,9 +71,17 @@ def test_memget_touches_multiple_owner_nodes():
             yield from th.memget(arr, 24, 24)
         yield from th.barrier()
 
+    # The bulk engine coalesces the two node-1 blocks (arena-adjacent
+    # on their owner) into a single wire message.
     rt, res = run1(kernel)
-    assert rt.metrics.get_remote.n == 2   # blocks on node 1
+    assert rt.metrics.get_remote.n == 1   # blocks on node 1, coalesced
     assert rt.metrics.get_shm.n == 1      # block of thread 3
+    assert rt.metrics.bulk_coalesced_segments == 1
+
+    # With the engine off the serial path pays one round trip per block.
+    rt, res = run1(kernel, bulk_enabled=False)
+    assert rt.metrics.get_remote.n == 2
+    assert rt.metrics.get_shm.n == 1
 
 
 def test_memget_rejects_empty_span():
