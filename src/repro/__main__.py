@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any figure from the shell.
+"""Command-line entry point: regenerate figures, or fuzz the runtime.
 
 Usage::
 
@@ -10,8 +10,15 @@ Usage::
     python -m repro miss_overhead
     python -m repro all [--quick]
 
+    python -m repro fuzz --seed 0 --ops 200 --quick
+    python -m repro fuzz --seed 0..9 --ops 500 --matrix full
+
 ``--quick`` truncates size/scale sweeps for a fast look; the full
-sweeps match EXPERIMENTS.md.
+sweeps match EXPERIMENTS.md.  ``fuzz`` runs the model-based
+differential harness (see :mod:`repro.testing`): each seed generates a
+race-free random UPC program, replays it across the config matrix, and
+compares every result with a flat-memory oracle, shrinking any failure
+to a pytest reproducer.
 """
 
 from __future__ import annotations
@@ -68,14 +75,78 @@ def _runners(quick: bool):
     }
 
 
+def _parse_seeds(text: str):
+    """``"7"`` -> [7]; ``"0..9"`` -> [0, 1, ..., 9] (inclusive)."""
+    if ".." in text:
+        lo, hi = text.split("..", 1)
+        lo, hi = int(lo), int(hi)
+        if hi < lo:
+            raise argparse.ArgumentTypeError(
+                f"empty seed range {text!r}")
+        return list(range(lo, hi + 1))
+    return [int(text)]
+
+
+def fuzz_main(argv) -> int:
+    from repro.testing import MATRICES, config_by_name, fuzz
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Differential fuzz: random race-free UPC programs "
+                    "replayed across the config matrix against a "
+                    "flat-memory oracle.")
+    ap.add_argument("--seed", type=_parse_seeds, default=[0],
+                    help="seed N or inclusive range A..B (default 0)")
+    ap.add_argument("--ops", type=int, default=200,
+                    help="approximate ops per generated program")
+    ap.add_argument("--nthreads", type=int, default=4,
+                    help="UPC threads per program (default 4)")
+    ap.add_argument("--matrix", default=None,
+                    help="'quick', 'full', or comma-separated config "
+                         "point names (default: quick)")
+    ap.add_argument("--quick", action="store_true",
+                    help="force the quick matrix (smoke mode)")
+    ap.add_argument("--corpus", default=None, metavar="DIR",
+                    help="serialize shrunk failures as JSON here")
+    ap.add_argument("--no-shrink", action="store_true",
+                    help="report failures without minimizing them")
+    args = ap.parse_args(argv)
+
+    if args.quick or args.matrix is None:
+        configs = list(MATRICES["quick"])
+    elif args.matrix in MATRICES:
+        configs = list(MATRICES[args.matrix])
+    else:
+        try:
+            configs = [config_by_name(n.strip())
+                       for n in args.matrix.split(",") if n.strip()]
+        except KeyError as exc:
+            ap.error(str(exc))
+
+    t0 = time.time()
+    report = fuzz(args.seed, n_ops=args.ops, nthreads=args.nthreads,
+                  configs=configs, shrink_failures=not args.no_shrink,
+                  corpus_dir=args.corpus)
+    status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
+    print(f"fuzz: {report.programs_run} program(s), "
+          f"{report.ops_run} ops, {len(report.configs)} configs — "
+          f"{status} ({time.time() - t0:.1f}s)")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from 'Scalable RDMA performance "
                     "in PGAS languages' (IPDPS 2009) on the simulator.")
     ap.add_argument("figure",
-                    choices=sorted(_runners(True)) + ["all"],
-                    help="which figure to regenerate")
+                    choices=sorted(_runners(True)) + ["all", "fuzz"],
+                    help="which figure to regenerate (or 'fuzz' to run "
+                         "the differential harness)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")
     args = ap.parse_args(argv)

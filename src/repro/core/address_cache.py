@@ -171,13 +171,18 @@ class RemoteAddressCache:
 
         Served from the per-handle index — O(entries for this handle)
         rather than a scan of the whole table, which matters when frees
-        are frequent and the table is at capacity.
+        are frequent and the table is at capacity.  The index entry is
+        popped outright (never looked up with a default that would
+        materialize it), so invalidating a handle with zero cached
+        entries — the common case under alloc/free churn, where most
+        frees never had a remote reader — leaves no empty per-handle
+        set behind to accumulate.
         """
-        doomed = self._by_handle.get(handle)
+        doomed = self._by_handle.pop(handle, None)
         if not doomed:
             return 0
         n = len(doomed)
-        for key in list(doomed):
+        for key in doomed:
             del self._table[key]
             self._index_discard(key)
         self.stats.invalidations += n

@@ -165,10 +165,20 @@ class UPCThread:
         pos = 0
         while pos < len(indices):
             batch = indices[pos:pos + width]
-            handles = [self.get_nb(array, i, nelems) for i in batch]
-            values = yield from self.wait_all(handles)
-            for k, v in enumerate(values):
-                out[pos + k] = v[0] if nelems == 1 else v
+            if nelems == 1:
+                handles = [self.get_nb(array, i, 1) for i in batch]
+                values = yield from self.wait_all(handles)
+                for k, v in enumerate(values):
+                    out[pos + k] = v[0]
+            else:
+                # Multi-element entries may span affinity boundaries;
+                # memget splits them per owning block (ops.get cannot).
+                handles = [self.runtime.sim.process(
+                    self.memget(array, i, nelems),
+                    name=f"gather[t{self.id}]") for i in batch]
+                values = yield from self.wait_all(handles)
+                for k, v in enumerate(values):
+                    out[pos + k] = v
             pos += len(batch)
         return out
 
@@ -190,6 +200,8 @@ class UPCThread:
             out = yield from self.runtime.ops.get(self, array, start,
                                                   count)
             pieces.append(out)
+        if not pieces:
+            return np.empty(0, dtype=array.dtype)
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
     def memput(self, array: SharedArray, index: int, values):
@@ -234,9 +246,16 @@ class UPCThread:
 
     @staticmethod
     def _segments(array: SharedArray, index: int, nelems: int):
-        """Break ``[index, index+nelems)`` at block boundaries."""
-        if nelems <= 0:
-            raise UPCRuntimeError(f"nelems must be > 0, got {nelems}")
+        """Break ``[index, index+nelems)`` at block boundaries.
+
+        A zero-length span yields no segments: ``upc_memget(p, q, 0)``
+        is a no-op, and gather/memget_v callers expect empty results
+        rather than an error.
+        """
+        if nelems < 0:
+            raise UPCRuntimeError(f"nelems must be >= 0, got {nelems}")
+        if nelems == 0:
+            return
         if array.owner is not None:
             yield index, nelems
             return

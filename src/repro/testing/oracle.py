@@ -1,0 +1,197 @@
+"""The flat-memory reference oracle.
+
+Executes a fuzz :class:`~repro.testing.program.Program` against plain
+in-process NumPy arrays — no SVD, no address cache, no pinning, no
+network, no virtual clock.  Because programs are race-free (see the
+program-module docstring), *any* sequential execution order yields the
+semantics every legal runtime interleaving must produce; the oracle
+runs threads in id order within each phase.
+
+The oracle's outputs are the ground truth the differential runner
+compares every configuration against:
+
+* ``returns[op_seq][thread]`` — the value(s) each *checked* op
+  returned (reads, gathers, reduces, broadcasts, pointer walks);
+* ``final[obj_id]`` — the bytes of every still-live shared object at
+  the program's closing barrier.
+
+Deliberate independence: the oracle never imports the runtime.  Index
+arithmetic (block spans, tile-major matrix mapping, pointer walks) is
+reimplemented from the *definitions*, so a bug in the runtime's layout
+or pointer code shows up as a divergence instead of being mirrored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.testing.program import Op, Program, _matrix_linear, _ObjState
+
+
+#: Op identity shared by oracle and runner: ``(phase index, thread,
+#: position in that thread's op list)``; collectives use position -1
+#: and record one return per thread.
+OpKey = Tuple[int, int, int]
+
+
+@dataclass
+class OracleResult:
+    """Ground truth for one program."""
+
+    #: :data:`OpKey` -> canonicalized return value (checked ops only).
+    returns: Dict[OpKey, object] = field(default_factory=dict)
+    #: Still-live object id -> final element values.
+    final: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def canonical(value) -> object:
+    """Returns comparable across oracle and runtime: scalars stay
+    scalars, arrays become ndarray, sequences stay lists."""
+    if isinstance(value, list):
+        return [canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def values_equal(a, b) -> bool:
+    """Bit-strict equality over the canonical shapes."""
+    if isinstance(a, list) or isinstance(b, list):
+        if not (isinstance(a, list) and isinstance(b, list)):
+            return False
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        return a.dtype == b.dtype and a.shape == b.shape and bool(
+            np.array_equal(a, b))
+    return type(a) is type(b) and a == b
+
+
+class FlatOracle:
+    """Executes one program over flat NumPy storage."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.mem: Dict[int, np.ndarray] = {}
+        #: Object id -> matrix geometry (tile-major mapping inputs).
+        self.shapes: Dict[int, _ObjState] = {}
+        self.result = OracleResult()
+        for s in program.scalars:
+            self.mem[s.obj] = np.zeros(1, dtype=np.dtype(s.dtype))
+
+    # -- op execution ------------------------------------------------------
+
+    def run(self) -> OracleResult:
+        for pi, phase in enumerate(self.program.phases):
+            if phase.is_collective:
+                self._collective(phase.collective, pi)
+                continue
+            assert phase.per_thread is not None
+            for t, ops in enumerate(phase.per_thread):
+                for oi, op in enumerate(ops):
+                    self._thread_op(op, (pi, t, oi))
+        self.result.final = {k: v.copy() for k, v in self.mem.items()}
+        return self.result
+
+    def _collective(self, op: Op, pi: int) -> None:
+        p = self.program
+        if op.kind == "alloc":
+            self.mem[op.obj] = np.zeros(
+                op.args["nelems"], dtype=np.dtype(op.args["dtype"]))
+        elif op.kind == "alloc_matrix":
+            a = op.args
+            st = _ObjState(a["rows"] * a["cols"], a["dtype"], "matrix",
+                           rows=a["rows"], cols=a["cols"],
+                           tile_r=a["tile_r"], tile_c=a["tile_c"])
+            self.shapes[op.obj] = st
+            self.mem[op.obj] = np.zeros(st.nelems,
+                                        dtype=np.dtype(a["dtype"]))
+        elif op.kind == "free":
+            self.mem.pop(op.obj, None)
+            self.shapes.pop(op.obj, None)
+        elif op.kind == "all_reduce":
+            dt = np.dtype(op.args["dtype"])
+            vals = [dt.type(v) for v in op.args["values"]]
+            kind = op.args["op"]
+            # Thread-id-order fold — the runtime Reducer's documented
+            # contract, so non-commutative float sums still agree.
+            acc = vals[0]
+            for v in vals[1:]:
+                if kind == "sum":
+                    acc = dt.type(acc + v)
+                elif kind == "max":
+                    acc = max(acc, v)
+                else:
+                    acc = min(acc, v)
+            for t in range(p.nthreads):
+                self.result.returns[(pi, t, -1)] = canonical(acc)
+        elif op.kind == "broadcast":
+            for t in range(p.nthreads):
+                self.result.returns[(pi, t, -1)] = op.args["value"]
+        # barrier / split_barrier: pure synchronization, no values.
+
+    def _thread_op(self, op: Op, key: OpKey) -> None:
+        a = op.args
+        if op.kind in ("fence", "compute", "poll"):
+            return
+        if op.kind in ("global_alloc", "local_alloc"):
+            self.mem[op.obj] = np.zeros(a["nelems"],
+                                        dtype=np.dtype(a["dtype"]))
+            return
+        mem = self.mem[op.obj]
+        dt = mem.dtype
+        record = None
+        if op.kind == "get":
+            record = mem[a["index"]]
+        elif op.kind in ("put", "put_strict"):
+            vals = np.asarray(a["values"], dtype=dt)
+            mem[a["index"]:a["index"] + len(vals)] = vals
+        elif op.kind == "memget":
+            record = mem[a["index"]:a["index"] + a["nelems"]].copy()
+        elif op.kind == "memput":
+            vals = np.asarray(a["values"], dtype=dt)
+            mem[a["index"]:a["index"] + len(vals)] = vals
+        elif op.kind == "memget_v":
+            record = [mem[i:i + n].copy() for i, n in a["spans"]]
+        elif op.kind == "memput_v":
+            for i, vals in a["puts"]:
+                vv = np.asarray(vals, dtype=dt)
+                mem[i:i + len(vv)] = vv
+        elif op.kind == "gather":
+            n = a.get("nelems", 1)
+            if n == 1:
+                record = [mem[i] for i in a["indices"]]
+            else:
+                record = [mem[i:i + n].copy() for i in a["indices"]]
+        elif op.kind == "ptr_walk":
+            # Pointer-to-shared arithmetic walks global layout order,
+            # which is *by definition* index + delta.
+            record = mem[a["index"] + a["delta"]]
+        elif op.kind == "lock_add":
+            mem[a["index"]] = dt.type(mem[a["index"]] + dt.type(
+                a["delta"]))
+        elif op.kind in ("get_rc", "put_rc", "memget_row"):
+            st = self.shapes[op.obj]
+            if op.kind == "memget_row":
+                lin = _matrix_linear(st, a["r"], a["c0"])
+                record = mem[lin:lin + a["nelems"]].copy()
+            else:
+                lin = _matrix_linear(st, a["r"], a["c"])
+                if op.kind == "get_rc":
+                    record = mem[lin]
+                else:
+                    mem[lin] = dt.type(a["value"])
+        else:
+            raise ValueError(f"oracle: unknown op kind {op.kind!r}")
+        if record is not None:
+            self.result.returns[key] = canonical(record)
+
+
+def run_oracle(program: Program) -> OracleResult:
+    return FlatOracle(program).run()

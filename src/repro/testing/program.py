@@ -1,0 +1,537 @@
+"""The fuzzer's program IR: randomized UPC programs as data.
+
+A :class:`Program` is a deterministic, *race-free* UPC program over
+shared scalars/arrays/matrices, structured as alternating **phases**:
+
+* a ``parallel`` phase holds one op list per UPC thread; the lists run
+  concurrently with whatever interleaving the simulator (and the
+  config under test) produces;
+* a ``collective`` phase holds a single op every thread executes
+  (barrier, split-phase barrier, collective alloc/free, reduce,
+  broadcast).
+
+Race freedom is the load-bearing property: the differential harness
+asserts that *every* configuration (protocols, progress engines,
+eviction policies, bulk-engine knobs) produces bit-identical results,
+which is only a theorem for programs whose visible values do not
+depend on message timing.  The discipline (enforced by the generator,
+re-checked by :func:`validate`) is the UPC relaxed-consistency
+contract:
+
+1. within a phase an element is written by at most one thread, and
+   only if no other thread's write to it is still undrained from an
+   earlier phase;
+2. a thread may read an element only if nobody wrote it this phase —
+   unless the reader itself wrote it *and* has fenced since;
+3. elements touched by lock-protected read-modify-writes are touched
+   only by lock ops *holding the same lock* until the next fencing
+   collective (their final value is then order-independent; their
+   intermediate reads are not compared — and RMWs under different
+   locks would interleave their get/put and lose updates);
+4. writes become globally visible only at *fencing* collectives
+   (barrier, split-phase barrier, collective free); a collective that
+   synchronizes without fencing (alloc, reduce, broadcast) does not
+   publish anything.
+
+Programs serialize to plain JSON (the regression-corpus format) and
+print as runnable pytest snippets for shrunk failure reproducers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Op kinds that every thread executes together (one per phase).
+COLLECTIVE_KINDS = frozenset({
+    "barrier", "split_barrier", "alloc", "alloc_matrix", "free",
+    "all_reduce", "broadcast",
+})
+
+#: Collectives that imply a fence on every thread (publish writes).
+FENCING_KINDS = frozenset({"barrier", "split_barrier", "free"})
+
+#: Per-thread op kinds.
+THREAD_KINDS = frozenset({
+    "get", "put", "put_strict", "memget", "memput", "memget_v",
+    "memput_v", "gather", "fence", "compute", "poll", "lock_add",
+    "ptr_walk", "get_rc", "put_rc", "memget_row", "global_alloc",
+    "local_alloc",
+})
+
+#: Kinds whose return value is deterministic and compared against the
+#: oracle.  ``lock_add`` returns the pre-increment value, which depends
+#: on acquisition order — its *effect* is checked via final state only.
+CHECKED_KINDS = frozenset({
+    "get", "memget", "memget_v", "gather", "ptr_walk", "get_rc",
+    "memget_row", "all_reduce", "broadcast",
+})
+
+#: dtypes the generator draws from (exact under every arithmetic the
+#: programs perform, so oracle comparison is bit-strict).
+DTYPES = ("u4", "u8", "i8", "f8")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation.  ``args`` is a kind-specific dict of plain JSON
+    types (ints, strings, lists) so programs round-trip losslessly."""
+
+    kind: str
+    #: Issuing thread for per-thread ops; -1 for collectives.
+    thread: int = -1
+    #: Target object id (index into the program's object table); -1
+    #: when the op touches no shared object (barrier, fence, compute).
+    obj: int = -1
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        d = {"kind": self.kind}
+        if self.thread != -1:
+            d["thread"] = self.thread
+        if self.obj != -1:
+            d["obj"] = self.obj
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    @staticmethod
+    def from_json(d: dict) -> "Op":
+        return Op(kind=d["kind"], thread=d.get("thread", -1),
+                  obj=d.get("obj", -1), args=d.get("args", {}))
+
+
+@dataclass(frozen=True)
+class Phase:
+    """``collective`` (one op, all threads) or ``parallel`` (one op
+    list per thread, run concurrently)."""
+
+    collective: Optional[Op] = None
+    per_thread: Optional[Tuple[Tuple[Op, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if (self.collective is None) == (self.per_thread is None):
+            raise ValueError("phase is either collective or parallel")
+
+    @property
+    def is_collective(self) -> bool:
+        return self.collective is not None
+
+    @property
+    def fencing(self) -> bool:
+        return (self.collective is not None
+                and self.collective.kind in FENCING_KINDS)
+
+    def ops(self) -> Iterator[Op]:
+        if self.collective is not None:
+            yield self.collective
+        else:
+            for lst in self.per_thread or ():
+                yield from lst
+
+    def to_json(self) -> dict:
+        if self.collective is not None:
+            return {"collective": self.collective.to_json()}
+        return {"parallel": [[op.to_json() for op in lst]
+                             for lst in self.per_thread]}
+
+    @staticmethod
+    def from_json(d: dict) -> "Phase":
+        if "collective" in d:
+            return Phase(collective=Op.from_json(d["collective"]))
+        return Phase(per_thread=tuple(
+            tuple(Op.from_json(o) for o in lst) for lst in d["parallel"]))
+
+
+@dataclass(frozen=True)
+class ScalarDecl:
+    """A statically-allocated shared scalar (exists before the run)."""
+
+    obj: int
+    owner_thread: int
+    dtype: str
+
+    def to_json(self) -> dict:
+        return {"obj": self.obj, "owner": self.owner_thread,
+                "dtype": self.dtype}
+
+    @staticmethod
+    def from_json(d: dict) -> "ScalarDecl":
+        return ScalarDecl(obj=d["obj"], owner_thread=d["owner"],
+                          dtype=d["dtype"])
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """A statically-allocated upc_lock_t."""
+
+    obj: int
+    owner_thread: int
+
+    def to_json(self) -> dict:
+        return {"obj": self.obj, "owner": self.owner_thread}
+
+    @staticmethod
+    def from_json(d: dict) -> "LockDecl":
+        return LockDecl(obj=d["obj"], owner_thread=d["owner"])
+
+
+@dataclass(frozen=True)
+class Program:
+    """One complete fuzz program (see module docstring)."""
+
+    nthreads: int
+    scalars: Tuple[ScalarDecl, ...] = ()
+    locks: Tuple[LockDecl, ...] = ()
+    phases: Tuple[Phase, ...] = ()
+    #: Provenance, carried through shrinking for reproducibility notes.
+    seed: Optional[int] = None
+
+    # -- sizing ----------------------------------------------------------
+
+    @property
+    def n_ops(self) -> int:
+        """Total op count (collectives count once)."""
+        return sum(1 for ph in self.phases for _ in ph.ops())
+
+    def iter_ops(self) -> Iterator[Op]:
+        for ph in self.phases:
+            yield from ph.ops()
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "nthreads": self.nthreads,
+            "seed": self.seed,
+            "scalars": [s.to_json() for s in self.scalars],
+            "locks": [l.to_json() for l in self.locks],
+            "phases": [ph.to_json() for ph in self.phases],
+        }
+
+    def dumps(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+    @staticmethod
+    def from_json(d: dict) -> "Program":
+        if d.get("version") != 1:
+            raise ValueError(f"unknown program version {d.get('version')}")
+        return Program(
+            nthreads=d["nthreads"],
+            seed=d.get("seed"),
+            scalars=tuple(ScalarDecl.from_json(s) for s in d["scalars"]),
+            locks=tuple(LockDecl.from_json(l) for l in d["locks"]),
+            phases=tuple(Phase.from_json(p) for p in d["phases"]),
+        )
+
+    @staticmethod
+    def loads(text: str) -> "Program":
+        return Program.from_json(json.loads(text))
+
+    # -- reproducer ------------------------------------------------------
+
+    def to_pytest_snippet(self, config_name: str = "gm-base") -> str:
+        """A runnable pytest reproducer for this program."""
+        body = self.dumps(indent=2).replace("\n", "\n    ")
+        return (
+            "import json\n"
+            "\n"
+            "from repro.testing import Program, run_differential\n"
+            "from repro.testing.runner import config_by_name\n"
+            "\n"
+            "PROGRAM_JSON = \"\"\"\\\n"
+            f"    {body}\n"
+            "\"\"\"\n"
+            "\n"
+            "\n"
+            "def test_reproducer():\n"
+            "    program = Program.loads(PROGRAM_JSON)\n"
+            "    divergences = run_differential(\n"
+            f"        program, configs=[config_by_name({config_name!r})])\n"
+            "    assert not divergences, divergences[0].describe()\n"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Validation: well-formedness + the race-freedom discipline
+# ---------------------------------------------------------------------------
+
+class ProgramError(ValueError):
+    """The program violates well-formedness or the race discipline."""
+
+
+class _ObjState:
+    """Validator-side model of one shared object's element states."""
+
+    __slots__ = ("nelems", "dtype", "kind", "writer", "fenced",
+                 "readers", "lockid", "visible_to", "blocksize",
+                 "rows", "cols", "tile_r", "tile_c")
+
+    def __init__(self, nelems: int, dtype: str, kind: str,
+                 blocksize: int = 0, visible_to: Optional[int] = None,
+                 rows: int = 0, cols: int = 0, tile_r: int = 0,
+                 tile_c: int = 0) -> None:
+        self.nelems = nelems
+        self.dtype = dtype
+        self.kind = kind           # "array" | "matrix" | "scalar"
+        self.blocksize = blocksize
+        self.rows, self.cols = rows, cols
+        self.tile_r, self.tile_c = tile_r, tile_c
+        #: -1 free, -2 lock-touched, else writer thread id.
+        self.writer = np.full(nelems, -1, dtype=np.int64)
+        self.fenced = np.zeros(nelems, dtype=bool)
+        #: Bitmask of threads that *read* the element this phase.  A
+        #: same-phase read and write by different threads race in both
+        #: orders (the ops run concurrently whatever their positions in
+        #: the per-thread lists), so writes require no foreign readers.
+        self.readers = np.zeros(nelems, dtype=np.int64)
+        #: The lock guarding this element's RMWs this phase (-1 none).
+        #: lock_add is only atomic against other lock_adds holding the
+        #: *same* lock — two RMWs under different locks interleave
+        #: their get/put and can lose an increment.
+        self.lockid = np.full(nelems, -1, dtype=np.int64)
+        #: None = every thread may touch it; else only this thread
+        #: (non-collective allocation before its publishing barrier).
+        self.visible_to = visible_to
+
+
+def _op_spans(op: Op) -> List[Tuple[int, int, str]]:
+    """(start, nelems, mode) element spans an op touches.
+
+    mode is ``r`` (read), ``w`` (write), ``s`` (strict/fenced write)
+    or ``l`` (lock-protected RMW).
+    """
+    a = op.args
+    k = op.kind
+    if k == "get":
+        return [(a["index"], 1, "r")]
+    if k == "put":
+        return [(a["index"], len(a["values"]), "w")]
+    if k == "put_strict":
+        return [(a["index"], len(a["values"]), "s")]
+    if k == "memget":
+        return [(a["index"], a["nelems"], "r")]
+    if k == "memput":
+        return [(a["index"], len(a["values"]), "w")]
+    if k == "memget_v":
+        return [(i, n, "r") for i, n in a["spans"]]
+    if k == "memput_v":
+        return [(i, len(v), "w") for i, v in a["puts"]]
+    if k == "gather":
+        return [(i, a.get("nelems", 1), "r") for i in a["indices"]]
+    if k == "ptr_walk":
+        return [(a["index"] + a["delta"], 1, "r")]
+    if k == "lock_add":
+        return [(a["index"], 1, "l")]
+    return []
+
+
+def validate(program: Program) -> None:
+    """Raise :class:`ProgramError` unless ``program`` is well-formed
+    and race-free per the module-docstring discipline.
+
+    The shrinker leans on this: any candidate reduction that survives
+    validation is guaranteed deterministic, so a persistent failure is
+    a real runtime divergence, never an artifact of an invalid program.
+    """
+    n = program.nthreads
+    if n < 1:
+        raise ProgramError(f"nthreads must be >= 1, got {n}")
+    objs: Dict[int, _ObjState] = {}
+    lock_ids = set()
+    for s in program.scalars:
+        if not 0 <= s.owner_thread < n:
+            raise ProgramError(f"scalar {s.obj}: bad owner")
+        objs[s.obj] = _ObjState(1, s.dtype, "scalar")
+    for l in program.locks:
+        if not 0 <= l.owner_thread < n:
+            raise ProgramError(f"lock {l.obj}: bad owner")
+        lock_ids.add(l.obj)
+
+    def live(obj_id: int, thread: int) -> _ObjState:
+        st = objs.get(obj_id)
+        if st is None:
+            raise ProgramError(f"op touches dead/unknown object {obj_id}")
+        if st.visible_to is not None and st.visible_to != thread:
+            raise ProgramError(
+                f"object {obj_id} not yet published to thread {thread}")
+        return st
+
+    def check_thread_op(op: Op) -> None:
+        t = op.thread
+        if not 0 <= t < n:
+            raise ProgramError(f"{op.kind}: bad thread {t}")
+        if op.kind in ("fence", "compute", "poll"):
+            if op.kind == "fence":
+                for st in objs.values():
+                    st.fenced[st.writer == t] = True
+            return
+        if op.kind in ("global_alloc", "local_alloc"):
+            if op.obj in objs or op.obj in lock_ids:
+                raise ProgramError(f"object id {op.obj} reused")
+            objs[op.obj] = _ObjState(
+                op.args["nelems"], op.args["dtype"], "array",
+                blocksize=op.args.get("blocksize") or op.args["nelems"],
+                visible_to=t)
+            return
+        st = live(op.obj, t)
+        if op.kind == "lock_add":
+            if op.args["lock"] not in lock_ids:
+                raise ProgramError(f"lock_add: {op.args['lock']} is "
+                                   "not a lock")
+            if st.dtype not in ("u4", "u8", "i8"):
+                raise ProgramError("lock_add target must be integer "
+                                   "(float adds do not commute)")
+        if op.kind in ("get_rc", "put_rc", "memget_row"):
+            if st.kind != "matrix":
+                raise ProgramError(f"{op.kind} on non-matrix {op.obj}")
+            r = op.args["r"]
+            if op.kind == "memget_row":
+                c0, cnt = op.args["c0"], op.args["nelems"]
+                if (c0 // st.tile_c) != ((c0 + cnt - 1) // st.tile_c):
+                    raise ProgramError("memget_row crosses tile column")
+                lin = _matrix_linear(st, r, c0)
+                spans = [(lin, cnt, "r")]
+            else:
+                lin = _matrix_linear(st, r, op.args["c"])
+                spans = [(lin, 1,
+                          "r" if op.kind == "get_rc" else "w")]
+        else:
+            spans = _op_spans(op)
+        if op.kind in ("get", "put", "put_strict"):
+            # Scalar-path ops must stay inside one affine block.
+            if st.kind == "array" and st.blocksize:
+                for start, cnt, _ in spans:
+                    if cnt > 1 and (start // st.blocksize
+                                    != (start + cnt - 1) // st.blocksize):
+                        raise ProgramError(
+                            f"{op.kind} span [{start},{start + cnt}) "
+                            "crosses a block boundary")
+        for start, cnt, mode in spans:
+            if start < 0 or start + cnt > st.nelems:
+                raise ProgramError(
+                    f"{op.kind}: span [{start}, {start + cnt}) outside "
+                    f"object {op.obj} of {st.nelems} elems")
+            if cnt == 0:
+                continue
+            w = st.writer[start:start + cnt]
+            f = st.fenced[start:start + cnt]
+            r = st.readers[start:start + cnt]
+            if mode == "r":
+                ok = (w == -1) | ((w == t) & f)
+                if not ok.all():
+                    raise ProgramError(
+                        f"racy read: {op.kind} t{t} reads "
+                        f"[{start},{start + cnt}) of obj {op.obj} "
+                        "written this phase")
+                st.readers[start:start + cnt] = r | (1 << t)
+            elif mode in ("w", "s"):
+                ok = ((w == -1) | ((w == t) & f)) & ((r & ~(1 << t)) == 0)
+                if not ok.all():
+                    raise ProgramError(
+                        f"racy write: {op.kind} t{t} overwrites "
+                        f"[{start},{start + cnt}) of obj {op.obj} "
+                        "read or written this phase")
+                w[:] = t
+                f[:] = mode == "s"
+                st.writer[start:start + cnt] = w
+                st.fenced[start:start + cnt] = f
+            elif mode == "l":
+                lk = st.lockid[start:start + cnt]
+                lock = op.args["lock"]
+                ok = (((w == -1) | (w == -2)) & (r == 0)
+                      & ((lk == -1) | (lk == lock)))
+                if not ok.all():
+                    raise ProgramError(
+                        f"lock_add t{t} on obj {op.obj}[{start}] "
+                        "mixed with plain accesses or a different "
+                        "lock this phase")
+                st.writer[start:start + cnt] = -2
+                st.fenced[start:start + cnt] = False
+                st.lockid[start:start + cnt] = lock
+
+    for ph in program.phases:
+        if ph.is_collective:
+            op = ph.collective
+            assert op is not None
+            if op.kind not in COLLECTIVE_KINDS:
+                raise ProgramError(f"{op.kind} is not collective")
+            if op.kind in ("alloc", "alloc_matrix"):
+                if op.obj in objs or op.obj in lock_ids:
+                    raise ProgramError(f"object id {op.obj} reused")
+                if op.kind == "alloc":
+                    objs[op.obj] = _ObjState(
+                        op.args["nelems"], op.args["dtype"], "array",
+                        blocksize=op.args["blocksize"])
+                else:
+                    a = op.args
+                    objs[op.obj] = _ObjState(
+                        a["rows"] * a["cols"], a["dtype"], "matrix",
+                        blocksize=a["tile_r"] * a["tile_c"],
+                        rows=a["rows"], cols=a["cols"],
+                        tile_r=a["tile_r"], tile_c=a["tile_c"])
+            elif op.kind == "free":
+                st = objs.pop(op.obj, None)
+                if st is None:
+                    raise ProgramError(f"free of dead object {op.obj}")
+                if st.kind == "scalar":
+                    raise ProgramError("scalars are static; no free")
+            if ph.fencing:
+                for st in objs.values():
+                    st.writer[:] = -1
+                    st.fenced[:] = False
+                    st.readers[:] = 0
+                    st.lockid[:] = -1
+                    st.visible_to = None
+        else:
+            assert ph.per_thread is not None
+            if len(ph.per_thread) != n:
+                raise ProgramError(
+                    f"parallel phase has {len(ph.per_thread)} op lists "
+                    f"for {n} threads")
+            for lst in ph.per_thread:
+                for op in lst:
+                    if op.kind not in THREAD_KINDS:
+                        raise ProgramError(
+                            f"{op.kind} not valid inside a parallel "
+                            "phase")
+                    check_thread_op(op)
+    last = program.phases[-1] if program.phases else None
+    if last is None or not last.fencing:
+        raise ProgramError("program must end with a fencing collective "
+                           "(final state is compared after it)")
+
+
+def _matrix_linear(st: _ObjState, r: int, c: int) -> int:
+    """Tile-major (row, col) -> linear — the validator/oracle's own
+    arithmetic, independent of SharedMatrix.linear (differential)."""
+    if not (0 <= r < st.rows and 0 <= c < st.cols):
+        raise ProgramError(f"({r},{c}) outside {st.rows}x{st.cols}")
+    tiles_c = st.cols // st.tile_c
+    tile = (r // st.tile_r) * tiles_c + (c // st.tile_c)
+    within = (r % st.tile_r) * st.tile_c + (c % st.tile_c)
+    return tile * st.tile_r * st.tile_c + within
+
+
+def live_objects_at_end(program: Program) -> List[int]:
+    """Object ids (arrays/matrices/scalars) still live at program end —
+    the ones whose final state the differential comparison covers."""
+    live = {s.obj for s in program.scalars}
+    for ph in program.phases:
+        if not ph.is_collective:
+            for lst in ph.per_thread or ():
+                for op in lst:
+                    if op.kind in ("global_alloc", "local_alloc"):
+                        live.add(op.obj)
+            continue
+        op = ph.collective
+        assert op is not None
+        if op.kind in ("alloc", "alloc_matrix"):
+            live.add(op.obj)
+        elif op.kind == "free":
+            live.discard(op.obj)
+    return sorted(live)

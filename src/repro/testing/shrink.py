@@ -1,0 +1,160 @@
+"""Greedy minimization of failing fuzz programs.
+
+``shrink(program, predicate)`` returns the smallest program it can
+find for which ``predicate`` still holds (predicate = "the differential
+runner still reports a divergence").  The strategy is ddmin-flavoured
+greedy deletion at two granularities:
+
+1. contiguous *phase* ranges (alloc/free churn, whole parallel
+   sections), largest chunks first;
+2. contiguous op runs inside each thread's list of every parallel
+   phase, largest chunks first;
+
+plus a final sweep dropping statically-declared scalars/locks nothing
+references.  Every candidate is re-validated with
+:func:`repro.testing.program.validate` before the predicate runs, so a
+shrunk reproducer is still race-free — a persistent failure can never
+be an artifact of an invalid (timing-dependent) program.
+
+The predicate is the expensive part (each call replays the candidate
+on real runtimes), so the total number of predicate calls is bounded
+by ``max_checks``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.testing.program import (
+    Phase,
+    Program,
+    ProgramError,
+    validate,
+)
+
+
+def _candidate(base: Program, phases, scalars=None,
+               locks=None) -> Optional[Program]:
+    cand = Program(
+        nthreads=base.nthreads,
+        scalars=tuple(scalars if scalars is not None else base.scalars),
+        locks=tuple(locks if locks is not None else base.locks),
+        phases=tuple(phases),
+        seed=base.seed,
+    )
+    try:
+        validate(cand)
+    except ProgramError:
+        return None
+    return cand
+
+
+class _Budget:
+    """Caps predicate calls; a spent budget fails every candidate."""
+
+    def __init__(self, predicate: Callable[[Program], bool],
+                 max_checks: int) -> None:
+        self.predicate = predicate
+        self.remaining = max_checks
+
+    def ok(self, cand: Optional[Program]) -> bool:
+        if cand is None or self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return self.predicate(cand)
+
+
+def _sweep_phases(current: Program, budget: _Budget):
+    """Delete contiguous phase ranges, biggest chunks first."""
+    improved = False
+    chunk = max(1, len(current.phases) // 2)
+    while chunk >= 1:
+        i = 0
+        while i + chunk <= len(current.phases):
+            phases = list(current.phases)
+            cand = _candidate(current, phases[:i] + phases[i + chunk:])
+            if budget.ok(cand):
+                current = cand
+                improved = True
+                # Stay at i: the next chunk slid into this window.
+            else:
+                i += 1
+        chunk //= 2
+    return current, improved
+
+
+def _sweep_ops(current: Program, budget: _Budget):
+    """Delete op runs inside each thread's list of parallel phases."""
+    improved = False
+    for pi in range(len(current.phases)):
+        if current.phases[pi].is_collective:
+            continue
+        for t in range(current.nthreads):
+            ops0 = current.phases[pi].per_thread[t]
+            chunk = max(1, len(ops0) // 2) if ops0 else 0
+            while chunk >= 1:
+                i = 0
+                while True:
+                    ph = current.phases[pi]
+                    ops: List = list(ph.per_thread[t])
+                    if i + chunk > len(ops):
+                        break
+                    per = list(ph.per_thread)
+                    per[t] = tuple(ops[:i] + ops[i + chunk:])
+                    phases = list(current.phases)
+                    phases[pi] = Phase(per_thread=tuple(per))
+                    cand = _candidate(current, phases)
+                    if budget.ok(cand):
+                        current = cand
+                        improved = True
+                    else:
+                        i += 1
+                chunk //= 2
+    return current, improved
+
+
+def _sweep_statics(current: Program, budget: _Budget):
+    """Drop scalar/lock declarations nothing references anymore."""
+    improved = False
+    used = set()
+    for op in current.iter_ops():
+        used.add(op.obj)
+        if op.kind == "lock_add":
+            used.add(op.args["lock"])
+    for s in current.scalars:
+        if s.obj in used:
+            continue
+        cand = _candidate(
+            current, current.phases,
+            scalars=[x for x in current.scalars if x.obj != s.obj])
+        if budget.ok(cand):
+            current = cand
+            improved = True
+    for l in current.locks:
+        if l.obj in used:
+            continue
+        cand = _candidate(
+            current, current.phases,
+            locks=[x for x in current.locks if x.obj != l.obj])
+        if budget.ok(cand):
+            current = cand
+            improved = True
+    return current, improved
+
+
+def shrink(program: Program, predicate: Callable[[Program], bool],
+           max_checks: int = 300) -> Program:
+    """Greedily minimize ``program`` while ``predicate`` holds.
+
+    ``predicate(program)`` must be True for the input; the result is a
+    (locally) 1-minimal program under the deletion moves above.
+    """
+    budget = _Budget(predicate, max_checks)
+    current = program
+    improved = True
+    while improved and budget.remaining > 0:
+        improved = False
+        for sweep in (_sweep_phases, _sweep_ops, _sweep_statics):
+            current, did = sweep(current, budget)
+            improved = improved or did
+    return current

@@ -30,3 +30,17 @@ def split_seed(seed: int, index: int) -> int:
     """Derive a stable 63-bit child seed for substream ``index``."""
     ss = np.random.SeedSequence([_SALT, seed, index])
     return int(ss.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+def bounded_geometric(rng: np.random.Generator, mean: float,
+                      lo: int, hi: int) -> int:
+    """A geometric-ish draw clamped to ``[lo, hi]``.
+
+    Size-like quantities (span lengths, op counts) want short draws to
+    dominate with a heavy tail of large ones — a plain uniform draw
+    buries the small-transfer behaviour the protocols specialize for.
+    """
+    if hi <= lo:
+        return lo
+    draw = lo + int(rng.geometric(min(1.0, 1.0 / max(mean, 1.0)))) - 1
+    return min(max(draw, lo), hi)

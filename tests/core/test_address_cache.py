@@ -155,3 +155,31 @@ def test_property_hit_rate_bounded_and_consistent(stream):
     assert s.accesses == len(stream)
     assert 0.0 <= s.hit_rate <= 1.0
     assert s.hits + s.misses == s.accesses
+
+
+def test_invalidate_unknown_handle_leaves_no_index_residue():
+    """Invalidating a handle with zero cached entries — the common case
+    under alloc/free churn, where most frees never had a remote
+    reader — must not materialize an empty per-handle index set."""
+    c = RemoteAddressCache(capacity=10)
+    for i in range(1000):
+        assert c.invalidate_handle(f"never-cached-{i}") == 0
+    assert c._by_handle == {}
+    assert len(c) == 0 and c.stats.invalidations == 0
+
+
+def test_alloc_free_churn_keeps_index_minimal():
+    """Interleave inserts and full-handle invalidations; the secondary
+    index must track exactly the handles that still own live entries,
+    and the dense eviction list must stay in lockstep with the table."""
+    c = RemoteAddressCache(capacity=64)
+    for gen in range(50):
+        h = f"h{gen}"
+        for node in range(gen % 4):          # gens 0,4,8,... cache nothing
+            c.insert(h, node, 0x1000 + gen * 16 + node)
+        dropped = c.invalidate_handle(h)
+        assert dropped == gen % 4
+        assert c.invalidate_handle(h) == 0   # idempotent, still no residue
+    assert c._by_handle == {}
+    assert len(c) == 0
+    assert c._keys == [] and c._pos == {}

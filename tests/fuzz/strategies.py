@@ -1,0 +1,29 @@
+"""Hypothesis strategies over the fuzz program generator.
+
+The heavy lifting lives in :mod:`repro.testing.generator` — it already
+knows how to emit *race-free* programs, which is a global property that
+composing hypothesis primitives op-by-op cannot cheaply guarantee.  So
+the strategy draws the generator's *inputs* (seed, op budget, thread
+count) and lets hypothesis minimize in that space; intra-program
+minimization is the job of :func:`repro.testing.shrink.shrink`.
+"""
+
+from hypothesis import strategies as st
+
+from repro.testing import Program, generate_program
+
+
+@st.composite
+def programs(draw, min_ops: int = 10, max_ops: int = 80,
+             nthreads=(2, 4)) -> Program:
+    """A validated, race-free random UPC program."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n_ops = draw(st.integers(min_value=min_ops, max_value=max_ops))
+    threads = draw(st.sampled_from(list(nthreads)))
+    return generate_program(seed, n_ops=n_ops, nthreads=threads)
+
+
+@st.composite
+def small_programs(draw) -> Program:
+    """A cheaper profile for per-example differential replay."""
+    return draw(programs(min_ops=10, max_ops=40))

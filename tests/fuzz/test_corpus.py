@@ -1,0 +1,43 @@
+"""Replay the checked-in regression corpus.
+
+``tests/fuzz/corpus/`` holds small programs as JSON: hand-picked
+generator outputs plus any shrunk failure the fuzz CLI serialized via
+``--corpus`` (``shrunk-seed*.json``).  Each one must load, re-validate
+as race-free, and replay cleanly across the quick matrix — so a once-
+found bug stays fixed even if the generator drifts and stops emitting
+the triggering pattern.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.testing import Program, QUICK_MATRIX, run_differential, validate
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no programs in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_program_replays_clean(path):
+    with open(path, encoding="utf-8") as fh:
+        program = Program.loads(fh.read())
+    validate(program)
+    divs = run_differential(program, configs=list(QUICK_MATRIX))
+    assert not divs, "\n\n".join(d.describe() for d in divs)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_json_roundtrip(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    program = Program.loads(text)
+    again = Program.loads(program.dumps(indent=2))
+    assert program.dumps() == again.dumps()

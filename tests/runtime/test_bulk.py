@@ -84,14 +84,30 @@ def test_memget_touches_multiple_owner_nodes():
     assert rt.metrics.get_shm.n == 1
 
 
-def test_memget_rejects_empty_span():
+def test_memget_zero_span_is_noop_and_negative_rejected():
+    # upc_memget(p, q, 0) is a no-op: returns an empty typed array,
+    # moves nothing.  Negative counts are still programming errors.
+    got = {}
+
     def kernel(th):
         arr = yield from th.all_alloc(64, blocksize=8, dtype="u4")
         yield from th.barrier()
-        yield from th.memget(arr, 0, 0)
+        got["empty"] = yield from th.memget(arr, 0, 0)
 
     rt = make_rt()
     rt.spawn(kernel)
+    rt.run()
+    assert got["empty"].shape == (0,)
+    assert got["empty"].dtype == np.dtype("u4")
+    assert rt.metrics.get_remote.n == 0 and rt.metrics.get_shm.n == 0
+
+    def bad(th):
+        arr = yield from th.all_alloc(64, blocksize=8, dtype="u4")
+        yield from th.barrier()
+        yield from th.memget(arr, 0, -3)
+
+    rt = make_rt()
+    rt.spawn(bad)
     with pytest.raises(UPCRuntimeError):
         rt.run()
 

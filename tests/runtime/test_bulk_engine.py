@@ -225,3 +225,84 @@ def test_bulk_config_validation():
         make_rt(bulk_max_inflight=0)
     with pytest.raises(UPCRuntimeError):
         make_rt(bulk_max_coalesce_bytes=-1)
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_gather_nelems_zero_is_a_noop(bulk):
+    """upc_memget(p, q, 0) is a no-op, so a vector gather with
+    nelems=0 yields one empty (but correctly-typed) array per index
+    and moves no data — on the pipelined and serial paths alike."""
+    got = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(64, blocksize=8, dtype="u4")
+        if th.id == 0:
+            arr.data[:] = np.arange(64, dtype="u4")
+        yield from th.barrier()
+        if th.id == 0:
+            got["empty"] = yield from th.gather(arr, [3, 40, 63],
+                                               nelems=0)
+            got["memget0"] = yield from th.memget(arr, 17, 0)
+        yield from th.barrier()
+
+    run1(kernel, bulk_enabled=bulk)
+    assert len(got["empty"]) == 3
+    for v in got["empty"]:
+        assert v.shape == (0,) and v.dtype == np.dtype("u4")
+    assert got["memget0"].shape == (0,)
+    assert got["memget0"].dtype == np.dtype("u4")
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_gather_span_crosses_affinity_boundary(bulk):
+    """A gathered span that starts in one thread's block and ends in
+    the next must split like memget does — notably on the serial path,
+    where each element batch used to be issued as a single-block GET."""
+    got = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(64, blocksize=8, dtype="u4")
+        if th.id == 0:
+            arr.data[:] = np.arange(64, dtype="u4")
+        yield from th.barrier()
+        if th.id == 0:
+            # 6..10 spans blocks 0 and 1 (threads 0 and 1);
+            # 30..34 spans threads 3 and 4 — i.e. both nodes.
+            got["spans"] = yield from th.gather(arr, [6, 30], nelems=4)
+        yield from th.barrier()
+
+    run1(kernel, bulk_enabled=bulk)
+    assert [list(v) for v in got["spans"]] == [[6, 7, 8, 9],
+                                              [30, 31, 32, 33]]
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_gather_nelems_larger_than_blocksize(bulk):
+    """nelems > blocksize covers several whole blocks per index."""
+    got = {}
+
+    def kernel(th):
+        arr = yield from th.all_alloc(64, blocksize=4, dtype="u4")
+        if th.id == 0:
+            arr.data[:] = np.arange(64, dtype="u4")
+        yield from th.barrier()
+        if th.id == 0:
+            got["wide"] = yield from th.gather(arr, [2, 45], nelems=10)
+        yield from th.barrier()
+
+    run1(kernel, bulk_enabled=bulk)
+    assert [list(v) for v in got["wide"]] == [
+        list(range(2, 12)), list(range(45, 55))]
+
+
+@pytest.mark.parametrize("bulk", [True, False])
+def test_memget_negative_nelems_rejected(bulk):
+    def kernel(th):
+        arr = yield from th.all_alloc(16, blocksize=4, dtype="u4")
+        yield from th.barrier()
+        if th.id == 0:
+            with pytest.raises(UPCRuntimeError):
+                yield from th.memget(arr, 0, -1)
+        yield from th.barrier()
+
+    run1(kernel, bulk_enabled=bulk)
