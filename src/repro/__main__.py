@@ -13,12 +13,18 @@ Usage::
     python -m repro fuzz --seed 0 --ops 200 --quick
     python -m repro fuzz --seed 0..9 --ops 500 --matrix full
 
+    python -m repro trace pointer --quick --format chrome
+    python -m repro trace field --breakdown
+
 ``--quick`` truncates size/scale sweeps for a fast look; the full
 sweeps match EXPERIMENTS.md.  ``fuzz`` runs the model-based
 differential harness (see :mod:`repro.testing`): each seed generates a
 race-free random UPC program, replays it across the config matrix, and
 compares every result with a flat-memory oracle, shrinking any failure
-to a pytest reproducer.
+to a pytest reproducer.  ``trace`` runs a stressmark with the protocol
+flight recorder on and exports Chrome-trace / JSONL / CSV artifacts
+plus the latency-breakdown table (see :mod:`repro.obs` and
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -110,6 +116,9 @@ def fuzz_main(argv) -> int:
                     help="serialize shrunk failures as JSON here")
     ap.add_argument("--no-shrink", action="store_true",
                     help="report failures without minimizing them")
+    ap.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="dump a flight-recorder JSONL log of each "
+                         "shrunk failing program here (CI artifact)")
     args = ap.parse_args(argv)
 
     if args.quick or args.matrix is None:
@@ -126,7 +135,7 @@ def fuzz_main(argv) -> int:
     t0 = time.time()
     report = fuzz(args.seed, n_ops=args.ops, nthreads=args.nthreads,
                   configs=configs, shrink_failures=not args.no_shrink,
-                  corpus_dir=args.corpus)
+                  corpus_dir=args.corpus, trace_dir=args.trace_dir)
     status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
     print(f"fuzz: {report.programs_run} program(s), "
           f"{report.ops_run} ops, {len(report.configs)} configs — "
@@ -139,14 +148,19 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_main
+        return trace_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from 'Scalable RDMA performance "
                     "in PGAS languages' (IPDPS 2009) on the simulator.")
     ap.add_argument("figure",
-                    choices=sorted(_runners(True)) + ["all", "fuzz"],
-                    help="which figure to regenerate (or 'fuzz' to run "
-                         "the differential harness)")
+                    choices=sorted(_runners(True)) + ["all", "fuzz",
+                                                      "trace"],
+                    help="which figure to regenerate ('fuzz' runs the "
+                         "differential harness; 'trace' the flight "
+                         "recorder)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")
     args = ap.parse_args(argv)

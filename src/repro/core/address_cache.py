@@ -54,7 +54,8 @@ class RemoteAddressCache:
 
     __slots__ = ("capacity", "policy", "stats", "_table", "_rng",
                  "lookup_cost_us", "insert_cost_us", "enabled",
-                 "_by_handle", "_keys", "_pos")
+                 "_by_handle", "_keys", "_pos",
+                 "events", "clock", "node_id")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  policy: EvictionPolicy = EvictionPolicy.LRU,
@@ -82,6 +83,11 @@ class RemoteAddressCache:
         #: stores — the "without cache" baseline runs use this so both
         #: configurations execute identical code paths.
         self.enabled = enabled
+        #: Flight-recorder hookup, injected by the Runtime; a bare
+        #: cache (unit tests) records nothing.
+        self.events = None
+        self.clock = None
+        self.node_id = -1
 
     def __len__(self) -> int:
         return len(self._table)
@@ -162,6 +168,12 @@ class RemoteAddressCache:
             # reorders — either way the head is the victim.
             victim, _ = self._table.popitem(last=False)
         self._index_discard(victim)
+        ev = self.events
+        if ev is not None and ev.enabled:
+            from repro.obs.events import CACHE_EVICT
+            ev.emit(self.clock.now if self.clock else 0.0, CACHE_EVICT,
+                    node=self.node_id, handle=str(victim[0]),
+                    target=victim[1], policy=self.policy.value)
 
     # -- invalidation ------------------------------------------------------
 
@@ -186,6 +198,12 @@ class RemoteAddressCache:
             del self._table[key]
             self._index_discard(key)
         self.stats.invalidations += n
+        ev = self.events
+        if ev is not None and ev.enabled:
+            from repro.obs.events import CACHE_INVALIDATE
+            ev.emit(self.clock.now if self.clock else 0.0,
+                    CACHE_INVALIDATE, node=self.node_id,
+                    handle=str(handle), count=n)
         return n
 
     def invalidate_all(self) -> int:

@@ -37,7 +37,7 @@ class PinnedAddressTable:
     """Registry of pinned shared-object memory on one node."""
 
     __slots__ = ("pins", "_by_vaddr", "_by_handle", "pin_time_us",
-                 "unpin_time_us")
+                 "unpin_time_us", "events", "clock", "node_id")
 
     def __init__(self, pin_manager: PinManager) -> None:
         self.pins = pin_manager
@@ -45,6 +45,10 @@ class PinnedAddressTable:
         self._by_handle: Dict[Hashable, List[PinnedEntry]] = {}
         self.pin_time_us = 0.0
         self.unpin_time_us = 0.0
+        #: Flight-recorder hookup, injected by the Runtime.
+        self.events = None
+        self.clock = None
+        self.node_id = -1
 
     def __len__(self) -> int:
         return len(self._by_vaddr)
@@ -65,6 +69,7 @@ class PinnedAddressTable:
         freed" (section 3.1).
         """
         cost, regions = self.pins.pin(vaddr, size)
+        fresh = 0
         for region in regions:
             if region.vaddr in self._by_vaddr:
                 continue  # already tabled (idempotent re-registration)
@@ -72,7 +77,14 @@ class PinnedAddressTable:
                                 size=region.size, phys=region.phys)
             self._by_vaddr[region.vaddr] = entry
             self._by_handle.setdefault(handle, []).append(entry)
+            fresh += 1
         self.pin_time_us += cost
+        ev = self.events
+        if fresh and ev is not None and ev.enabled:
+            from repro.obs.events import PIN
+            ev.emit(self.clock.now if self.clock else 0.0, PIN,
+                    node=self.node_id, handle=str(handle), vaddr=vaddr,
+                    size=size, regions=fresh, cost=cost)
         return cost
 
     def lookup_phys(self, vaddr: int) -> Optional[int]:
@@ -96,6 +108,12 @@ class PinnedAddressTable:
             self._by_vaddr.pop(entry.vaddr, None)
             cost += self.pins.unpin(entry.vaddr, entry.size)
         self.unpin_time_us += cost
+        ev = self.events
+        if entries and ev is not None and ev.enabled:
+            from repro.obs.events import UNPIN
+            ev.emit(self.clock.now if self.clock else 0.0, UNPIN,
+                    node=self.node_id, handle=str(handle),
+                    count=len(entries), cost=cost)
         return cost, len(entries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -39,6 +39,9 @@ class ProgressEngine:
         self.serviced = 0
         #: Accumulated time handlers spent waiting for service.
         self.wait_time = 0.0
+        #: Flight recorder (injected by the Runtime; may stay None for
+        #: bare-cluster uses).
+        self.events = None
 
     # -- thread-side hooks (only meaningful for polling) ----------------
 
@@ -53,10 +56,28 @@ class ProgressEngine:
 
     # -- handler-side ----------------------------------------------------
 
-    def service(self):
-        """Generator: wait until a handler may start executing."""
+    def service(self, op_id: int = -1):
+        """Generator: wait until a handler may start executing.
+
+        ``op_id`` ties the wait to the remote operation being serviced
+        in the flight recorder (queue_enter/queue_leave plus a
+        ``queue`` latency-breakdown phase when the wait was non-zero).
+        """
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def _record_queue(self, t0: float, op_id: int) -> None:
+        """Emit queue events for one service() wait, if recording."""
+        ev = self.events
+        if ev is None or not ev.enabled:
+            return
+        from repro.obs.events import COMP_QUEUE, PHASE, QUEUE_LEAVE
+        wait = self.sim.now - t0
+        ev.emit(self.sim.now, QUEUE_LEAVE, op=op_id, node=self.node.id,
+                wait=wait)
+        if wait > 0.0 and op_id >= 0:
+            ev.emit(self.sim.now, PHASE, op=op_id, node=self.node.id,
+                    comp=COMP_QUEUE, dur=wait)
 
 
 class PollingProgress(ProgressEngine):
@@ -99,8 +120,13 @@ class PollingProgress(ProgressEngine):
         for ev in waiters:
             ev.succeed()
 
-    def service(self):
+    def service(self, op_id: int = -1):
         t0 = self.sim.now
+        log = self.events
+        if log is not None and log.enabled:
+            from repro.obs.events import QUEUE_ENTER
+            log.emit(t0, QUEUE_ENTER, op=op_id, node=self.node.id,
+                     pollers=self._pollers)
         if self._pollers == 0:
             ev = Event(self.sim, name=f"await-poll[{self.node.id}]")
             self._waiters.append(ev)
@@ -108,16 +134,22 @@ class PollingProgress(ProgressEngine):
         yield self.sim.timeout(self.params.dispatch_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0
+        self._record_queue(t0, op_id)
 
 
 class InterruptProgress(ProgressEngine):
     """LAPI-style: handlers run after an interrupt latency, always."""
 
-    def service(self):
+    def service(self, op_id: int = -1):
         t0 = self.sim.now
+        log = self.events
+        if log is not None and log.enabled:
+            from repro.obs.events import QUEUE_ENTER
+            log.emit(t0, QUEUE_ENTER, op=op_id, node=self.node.id)
         yield self.sim.timeout(self.params.interrupt_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0
+        self._record_queue(t0, op_id)
 
 
 def make_progress(sim: Simulator, node: Node,

@@ -34,6 +34,21 @@ from repro.network.node import Node
 from repro.network.params import TransportParams
 from repro.network.progress import make_progress
 from repro.network.topology import Topology
+from repro.obs.events import (
+    AM_RECV,
+    AM_REPLY_RECV,
+    AM_REPLY_SEND,
+    AM_SEND,
+    COMP_HANDLER,
+    COMP_PIGGYBACK,
+    COMP_QUEUE,
+    COMP_WIRE,
+    HANDLER_BEGIN,
+    HANDLER_END,
+    PHASE,
+    RDMA_COMPLETE,
+    RDMA_ISSUE,
+)
 from repro.sim.event import Event
 from repro.sim.resource import Resource
 from repro.sim.simulator import Simulator
@@ -93,6 +108,9 @@ class Transport:
         self.counters = TransportCounters()
         #: Optional wire capture (tests/debugging); None = disabled.
         self.log: Optional[MessageLog] = None
+        #: Flight recorder (injected by the Runtime); None on bare
+        #: clusters.  Every emit site guards on ``enabled``.
+        self.events = None
         #: Per-destination receive-buffer credit pools, lazily built.
         self._credits: Dict[int, Resource] = {}
         for node in nodes:
@@ -111,6 +129,22 @@ class Transport:
             self.log.add(WireMessage(kind=kind, src=src.id, dst=dst.id,
                                      nbytes=nbytes,
                                      t_inject=self.sim.now))
+
+    def _recording(self) -> bool:
+        log = self.events
+        return log is not None and log.enabled
+
+    def _phase(self, op_id: int, comp: str, t0: float,
+               dur: Optional[float] = None) -> None:
+        """Attribute ``now - t0`` (or an explicit ``dur``) of op
+        ``op_id``'s critical path to latency component ``comp``."""
+        log = self.events
+        if log is None or not log.enabled or op_id < 0:
+            return
+        if dur is None:
+            dur = self.sim.now - t0
+        if dur > 0.0:
+            log.emit(self.sim.now, PHASE, op=op_id, comp=comp, dur=dur)
 
     def _credit_pool(self, dst: Node) -> Resource:
         """Receive-buffer credits guarding eager payloads into ``dst``."""
@@ -142,7 +176,7 @@ class Transport:
     def _run_handler(self, dst: Node, handler: Optional[Handler],
                      handler_copy_bytes: int = 0,
                      reply_bytes: int = 0, reply_fragmented: bool = True,
-                     reply_to: Optional[Node] = None):
+                     reply_to: Optional[Node] = None, op_id: int = -1):
         """Wait for service, then execute the header handler on the
         target CPU.
 
@@ -158,7 +192,9 @@ class Transport:
         """
         p = self.params
         assert dst.progress is not None
-        yield from dst.progress.service()
+        rec = self._recording()
+        yield from dst.progress.service(op_id)
+        t_acq = self.sim.now
         if reply_bytes and reply_to is not None:
             # Eager payload toward the initiator: reserve one of its
             # receive-buffer credits *before* taking the handler CPU.
@@ -169,6 +205,12 @@ class Transport:
             # exchanging eager traffic.
             yield self._credit_pool(reply_to).acquire()
         yield dst.handler_cpu.acquire()
+        if rec:
+            # Credit + handler-CPU contention is queueing, same bucket
+            # as waiting for the progress engine.
+            self._phase(op_id, COMP_QUEUE, t_acq)
+            self.events.emit(self.sim.now, AM_RECV, op=op_id,
+                             node=dst.id)
         try:
             cost = p.handler_cpu_us
             payload: Any = None
@@ -178,11 +220,35 @@ class Transport:
                 cost += h_cost
             if handler_copy_bytes:
                 cost += p.copy_time(handler_copy_bytes)
+            t_h = self.sim.now
+            if rec:
+                self.events.emit(t_h, HANDLER_BEGIN, op=op_id,
+                                 node=dst.id)
             yield self.sim.timeout(cost)
+            if rec:
+                self.events.emit(self.sim.now, HANDLER_END, op=op_id,
+                                 node=dst.id, cost=cost)
+                self._phase(op_id, COMP_HANDLER, t_h)
             if reply_bytes:
+                t_r = self.sim.now
                 yield self.sim.timeout(p.o_send_us)
                 yield from self._inject(dst, reply_bytes + extra_bytes,
                                         fragmented=reply_fragmented)
+                if rec:
+                    # The reply injection carried data plus (maybe) the
+                    # piggybacked base address; attribute the extra
+                    # bytes' share of the send to the piggyback
+                    # component, the rest to the wire.
+                    dur = self.sim.now - t_r
+                    total = reply_bytes + extra_bytes
+                    piggy = (dur * extra_bytes / total
+                             if extra_bytes and total else 0.0)
+                    self._phase(op_id, COMP_PIGGYBACK, t_r, dur=piggy)
+                    self._phase(op_id, COMP_WIRE, t_r, dur=dur - piggy)
+                    self.events.emit(
+                        self.sim.now, AM_REPLY_SEND, op=op_id,
+                        node=dst.id, nbytes=total,
+                        piggyback=bool(extra_bytes))
         except BaseException:
             if reply_bytes and reply_to is not None:
                 # The reply will never be sent; return the credit.
@@ -197,46 +263,62 @@ class Transport:
     def default_get(self, src: Node, dst: Node, nbytes: int,
                     handler: Optional[Handler] = None,
                     src_addr: Optional[int] = None,
-                    dst_addr: Optional[int] = None):
+                    dst_addr: Optional[int] = None, op_id: int = -1):
         """Figure 3a: Request-To-Send, handler on target, data reply.
 
         ``src_addr``/``dst_addr`` identify the user buffers for
         rendezvous registration accounting (default: node heap base).
-        Returns :class:`AMReply` whose payload is the handler's reply
-        (the runtime piggybacks the remote base address here).
+        ``op_id`` threads the flight-recorder causal id through the
+        protocol.  Returns :class:`AMReply` whose payload is the
+        handler's reply (the runtime piggybacks the remote base
+        address here).
         """
         p = self.params
         self.counters.am_requests += 1
         self.counters.bytes_am += nbytes + 2 * p.ctrl_bytes
         if nbytes <= p.eager_max_bytes:
-            payload = yield from self._eager_get(src, dst, nbytes, handler)
+            payload = yield from self._eager_get(src, dst, nbytes,
+                                                 handler, op_id)
         else:
             payload = yield from self._rendezvous_get(
                 src, dst, nbytes, handler,
                 src_addr if src_addr is not None else src.memory.base,
-                dst_addr if dst_addr is not None else dst.memory.base)
+                dst_addr if dst_addr is not None else dst.memory.base,
+                op_id)
         self.counters.am_replies += 1
         return AMReply(payload=payload, completed_at=self.sim.now)
 
     def _eager_get(self, src: Node, dst: Node, nbytes: int,
-                   handler: Optional[Handler]):
+                   handler: Optional[Handler], op_id: int = -1):
         p = self.params
+        rec = self._recording()
         self.counters.eager_transfers += 1
         # Request.
         yield self.sim.timeout(p.o_send_us)
         self._record(wire.AM_REQUEST, src, dst, p.ctrl_bytes)
+        t0 = self.sim.now
+        if rec:
+            self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
+                             dst=dst.id, nbytes=p.ctrl_bytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
         yield from self._wire(src, dst)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t0)
         # Target: handler + bounce copy + reply injection, all on the
         # target CPU (Figure 5).
         payload, extra = yield from self._run_handler(
             dst, handler, handler_copy_bytes=nbytes,
             reply_bytes=nbytes + p.ctrl_bytes, reply_fragmented=True,
-            reply_to=src)
+            reply_to=src, op_id=op_id)
         # Logged post-injection so timestamp and piggyback bytes are
         # the ones actually on the wire.
         self._record(wire.AM_REPLY, dst, src, nbytes + p.ctrl_bytes + extra)
+        t1 = self.sim.now
         yield from self._wire(dst, src)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t1)
+            self.events.emit(self.sim.now, AM_REPLY_RECV, op=op_id,
+                             node=src.id, piggyback=extra > 0)
         # Initiator: receive + copy out of the bounce buffer, then
         # return the receive-buffer credit to the pool.
         yield self.sim.timeout(p.o_recv_us + p.copy_time(nbytes))
@@ -245,8 +327,9 @@ class Transport:
 
     def _rendezvous_get(self, src: Node, dst: Node, nbytes: int,
                         handler: Optional[Handler],
-                        src_addr: int, dst_addr: int):
+                        src_addr: int, dst_addr: int, op_id: int = -1):
         p = self.params
+        rec = self._recording()
         self.counters.rendezvous_transfers += 1
         # RTS.
         yield self.sim.timeout(p.o_send_us + p.rendezvous_cpu_us)
@@ -254,13 +337,24 @@ class Transport:
         if reg_cost:
             yield self.sim.timeout(reg_cost)
         self._record(wire.RTS, src, dst, p.ctrl_bytes)
+        t0 = self.sim.now
+        if rec:
+            self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
+                             dst=dst.id, nbytes=p.ctrl_bytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
         yield from self._wire(src, dst)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t0)
         # Target: handler, registration of the served region and the
         # zero-copy send — all target-CPU work (Figure 5b).
         assert dst.progress is not None
-        yield from dst.progress.service()
+        yield from dst.progress.service(op_id)
+        t_acq = self.sim.now
         yield dst.handler_cpu.acquire()
+        if rec:
+            self._phase(op_id, COMP_QUEUE, t_acq)
+            self.events.emit(self.sim.now, AM_RECV, op=op_id,
+                             node=dst.id)
         try:
             cost = p.handler_cpu_us + p.rendezvous_cpu_us
             payload: Any = None
@@ -269,14 +363,39 @@ class Transport:
                 h_cost, payload, extra = handler(dst)
                 cost += h_cost
             cost += dst.reg_cache.register(dst_addr, nbytes)
+            t_r = self.sim.now
+            if rec:
+                # The handler-CPU slice is the known `cost` share of
+                # the combined timeout below; HANDLER_END is stamped
+                # analytically at t_r + cost to avoid splitting the
+                # timeout (which would perturb event interleaving).
+                self.events.emit(t_r, HANDLER_BEGIN, op=op_id,
+                                 node=dst.id)
+                self.events.emit(t_r + cost, HANDLER_END, op=op_id,
+                                 node=dst.id, cost=cost)
+                self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
             yield self.sim.timeout(cost + p.o_send_us)
             self._record(wire.RDV_DATA, dst, src,
                          nbytes + p.ctrl_bytes + extra)
             yield from self._inject(dst, nbytes + p.ctrl_bytes + extra,
                                     fragmented=False)
+            if rec:
+                dur = self.sim.now - t_r - cost
+                total = nbytes + p.ctrl_bytes + extra
+                piggy = dur * extra / total if extra and total else 0.0
+                self._phase(op_id, COMP_PIGGYBACK, t_r, dur=piggy)
+                self._phase(op_id, COMP_WIRE, t_r, dur=dur - piggy)
+                self.events.emit(self.sim.now, AM_REPLY_SEND, op=op_id,
+                                 node=dst.id, nbytes=total,
+                                 piggyback=bool(extra))
         finally:
             dst.handler_cpu.release()
+        t1 = self.sim.now
         yield from self._wire(dst, src)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t1)
+            self.events.emit(self.sim.now, AM_REPLY_RECV, op=op_id,
+                             node=src.id, piggyback=extra > 0)
         # Initiator completion (no copies: the NIC delivered in place).
         yield self.sim.timeout(p.o_recv_us)
         return payload
@@ -284,11 +403,12 @@ class Transport:
     def default_put(self, src: Node, dst: Node, nbytes: int,
                     handler: Optional[Handler] = None,
                     src_addr: Optional[int] = None,
-                    dst_addr: Optional[int] = None):
+                    dst_addr: Optional[int] = None, op_id: int = -1):
         """Figure 3a mirrored: the initiator is done at local hand-off;
         target-side processing overlaps with whatever the initiator
         does next.  Returns a :class:`PutTicket`."""
         p = self.params
+        rec = self._recording()
         self.counters.am_requests += 1
         # Eager: data+header message.  Rendezvous: RTS + CTS + data.
         self.counters.bytes_am += nbytes + (
@@ -306,12 +426,20 @@ class Transport:
             yield self.sim.timeout(p.o_send_us + p.copy_time(nbytes))
             yield self._credit_pool(dst).acquire()
             self._record(wire.PUT_DATA, src, dst, nbytes + p.ctrl_bytes)
+            t0 = self.sim.now
+            if rec:
+                self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
+                                 dst=dst.id,
+                                 nbytes=nbytes + p.ctrl_bytes)
             yield from self._inject(src, nbytes + p.ctrl_bytes,
                                     fragmented=True)
+            if rec:
+                self._phase(op_id, COMP_WIRE, t0)
             # Remote side continues without the initiator.
             self.sim.process(
                 self._put_tail(src, dst, nbytes, handler, remote_applied,
-                               copy_at_target=True, credit=True),
+                               copy_at_target=True, credit=True,
+                               op_id=op_id),
                 name="put-tail",
             )
         else:
@@ -322,40 +450,68 @@ class Transport:
             if reg_cost:
                 yield self.sim.timeout(reg_cost)
             self._record(wire.RTS, src, dst, p.ctrl_bytes)
+            t0 = self.sim.now
+            if rec:
+                self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
+                                 dst=dst.id, nbytes=p.ctrl_bytes)
             yield from self._inject(src, p.ctrl_bytes, fragmented=False)
             yield from self._wire(src, dst)
+            if rec:
+                self._phase(op_id, COMP_WIRE, t0)
             # Target-side work (handler + registration + CTS send) is
             # all CPU work there — serialized on the handler CPU,
             # symmetric with the rendezvous GET path.
             assert dst.progress is not None
-            yield from dst.progress.service()
+            yield from dst.progress.service(op_id)
+            t_acq = self.sim.now
             yield dst.handler_cpu.acquire()
+            if rec:
+                self._phase(op_id, COMP_QUEUE, t_acq)
+                self.events.emit(self.sim.now, AM_RECV, op=op_id,
+                                 node=dst.id)
             try:
                 cost = p.handler_cpu_us
                 if handler is not None:
                     h_cost, _, _ = handler(dst)
                     cost += h_cost
                 cost += dst.reg_cache.register(dst_addr, nbytes)
+                t_r = self.sim.now
+                if rec:
+                    self.events.emit(t_r, HANDLER_BEGIN, op=op_id,
+                                     node=dst.id)
+                    self.events.emit(t_r + cost, HANDLER_END, op=op_id,
+                                     node=dst.id, cost=cost)
+                    self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
                 yield self.sim.timeout(cost + p.o_send_us)
                 self._record(wire.CTS, dst, src, p.ctrl_bytes)
                 yield from self._inject(dst, p.ctrl_bytes, fragmented=False)
+                if rec:
+                    self._phase(op_id, COMP_WIRE, t_r,
+                                dur=self.sim.now - t_r - cost)
             finally:
                 dst.handler_cpu.release()
+            t1 = self.sim.now
             yield from self._wire(dst, src)
+            if rec:
+                self._phase(op_id, COMP_WIRE, t1)
             yield self.sim.timeout(p.o_recv_us)
             # Zero-copy data injection; local completion at hand-off.
             self._record(wire.RDV_DATA, src, dst, nbytes)
+            t2 = self.sim.now
             yield from self._inject(src, nbytes, fragmented=False)
+            if rec:
+                self._phase(op_id, COMP_WIRE, t2)
             self.sim.process(
                 self._put_tail(src, dst, nbytes, None, remote_applied,
-                               copy_at_target=False),
+                               copy_at_target=False, op_id=op_id),
                 name="put-tail",
             )
         return PutTicket(remote_applied=remote_applied, nbytes=nbytes)
 
     def _put_tail(self, src: Node, dst: Node, nbytes: int,
                   handler: Optional[Handler], remote_applied: Event,
-                  copy_at_target: bool, credit: bool = False):
+                  copy_at_target: bool, credit: bool = False,
+                  op_id: int = -1):
         """Target-side continuation of a PUT (runs as its own process).
 
         Credit return and completion signalling are exception-safe: a
@@ -367,7 +523,8 @@ class Transport:
             if handler is not None or copy_at_target:
                 yield from self._run_handler(
                     dst, handler,
-                    handler_copy_bytes=nbytes if copy_at_target else 0)
+                    handler_copy_bytes=nbytes if copy_at_target else 0,
+                    op_id=op_id)
         except BaseException:
             # Detached process: make the failure visible in counters
             # before it lands in the (unobserved) process event.
@@ -407,43 +564,72 @@ class Transport:
 
     # -- RDMA protocols ----------------------------------------------------
 
-    def rdma_get(self, src: Node, dst: Node, nbytes: int):
+    def rdma_get(self, src: Node, dst: Node, nbytes: int,
+                 op_id: int = -1):
         """Figure 3b: one-sided read.  No target CPU involvement — the
         response is served by the target NIC's DMA engine."""
         p = self.params
+        rec = self._recording()
         self.counters.rdma_gets += 1
         self.counters.bytes_rdma += nbytes
         yield self.sim.timeout(p.rdma_init_us)
         self._record(wire.RDMA_READ, src, dst, p.ctrl_bytes)
+        t0 = self.sim.now
+        if rec:
+            self.events.emit(t0, RDMA_ISSUE, op=op_id, node=src.id,
+                             dst=dst.id, nbytes=nbytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
         yield from self._wire(src, dst, extra=p.rdma_get_premium_us)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t0)
         # Target NIC serializes the response (DMA, no CPU, no credits
         # — the data lands directly in registered user memory).
         self._record(wire.RDMA_READ_RESP, dst, src, nbytes)
+        t1 = self.sim.now
         yield dst.nic.acquire()
+        if rec:
+            # Contention for the target NIC's DMA engine.
+            self._phase(op_id, COMP_QUEUE, t1)
+        t2 = self.sim.now
         try:
             yield self.sim.timeout(p.nic_gap_us + p.wire_time(nbytes))
         finally:
             dst.nic.release()
         yield from self._wire(dst, src)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t2)
         yield self.sim.timeout(p.rdma_completion_us)
+        if rec:
+            self.events.emit(self.sim.now, RDMA_COMPLETE, op=op_id,
+                             node=src.id, nbytes=nbytes)
 
-    def rdma_put(self, src: Node, dst: Node, nbytes: int):
+    def rdma_put(self, src: Node, dst: Node, nbytes: int,
+                 op_id: int = -1):
         """Figure 3b mirrored.  On GM local completion happens at
         injection; on HPS/LAPI the initiator waits for the fabric-level
         acknowledgement (``rdma_put_waits_remote``) — the mechanism
         behind Figure 6's PUT regression."""
         p = self.params
+        rec = self._recording()
         self.counters.rdma_puts += 1
         self.counters.bytes_rdma += nbytes
         remote_applied = Event(self.sim, name="rdma-put-applied")
         yield self.sim.timeout(p.rdma_init_us)
         self._record(wire.RDMA_WRITE, src, dst, nbytes + p.ctrl_bytes)
+        t0 = self.sim.now
+        if rec:
+            self.events.emit(t0, RDMA_ISSUE, op=op_id, node=src.id,
+                             dst=dst.id, nbytes=nbytes)
         yield from self._inject(src, nbytes + p.ctrl_bytes, fragmented=False)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t0)
         if p.rdma_put_waits_remote:
+            t1 = self.sim.now
             yield from self._wire(src, dst, extra=p.rdma_put_premium_us)
             remote_applied.succeed(self.sim.now)
             yield from self._wire(dst, src)  # hardware ack
+            if rec:
+                self._phase(op_id, COMP_WIRE, t1)
             yield self.sim.timeout(p.rdma_completion_us)
         else:
             yield self.sim.timeout(p.rdma_completion_us)
@@ -453,6 +639,9 @@ class Transport:
                 remote_applied.succeed(self.sim.now)
 
             self.sim.process(_tail(), name="rdma-put-tail")
+        if rec:
+            self.events.emit(self.sim.now, RDMA_COMPLETE, op=op_id,
+                             node=src.id, nbytes=nbytes)
         return PutTicket(remote_applied=remote_applied, nbytes=nbytes)
 
 

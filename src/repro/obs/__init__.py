@@ -1,0 +1,115 @@
+"""Protocol flight recorder: op-level event tracing and analysis.
+
+``repro.obs`` is the observability layer over the simulated XLUPC
+runtime: a structured :class:`EventLog` every protocol layer emits
+typed, timestamped, causally-linked events into, plus the analyzers
+and exporters on top — latency breakdowns (:mod:`repro.obs.breakdown`),
+Chrome-trace / JSONL export (:mod:`repro.obs.export`) and counter
+time-series sampling (:mod:`repro.obs.sampler`).
+
+Enable it by passing an ``EventLog`` into
+:class:`~repro.runtime.runtime.RuntimeConfig` (or a DIS workload's
+``events`` field), or from the shell::
+
+    python -m repro trace field --breakdown
+"""
+
+from repro.obs.breakdown import (
+    BreakdownSummary,
+    ComponentStats,
+    OpBreakdown,
+    REMOTE_PROTOS,
+    collect_breakdowns,
+    render_breakdown,
+    summarize,
+)
+from repro.obs.events import (
+    AM_RECV,
+    AM_REPLY_RECV,
+    AM_REPLY_SEND,
+    AM_SEND,
+    BULK_DRAIN,
+    BULK_ISSUE,
+    BULK_PLAN,
+    CACHE_EVICT,
+    CACHE_INVALIDATE,
+    CACHE_LOOKUP,
+    CACHE_SEED,
+    COMP_HANDLER,
+    COMP_PIGGYBACK,
+    COMP_QUEUE,
+    COMP_SOFTWARE,
+    COMP_WIRE,
+    COMPONENTS,
+    COUNTER,
+    EventLog,
+    HANDLER_BEGIN,
+    HANDLER_END,
+    OP_BEGIN,
+    OP_END,
+    PHASE,
+    PIN,
+    QUEUE_ENTER,
+    QUEUE_LEAVE,
+    RDMA_COMPLETE,
+    RDMA_ISSUE,
+    TraceEvent,
+    UNPIN,
+)
+from repro.obs.export import (
+    CHROME_PHASES,
+    HANDLER_TID,
+    dump_jsonl,
+    export_chrome,
+    load_jsonl,
+    validate_chrome,
+)
+from repro.obs.sampler import CounterSampler
+
+__all__ = [
+    "EventLog",
+    "TraceEvent",
+    "CounterSampler",
+    "OpBreakdown",
+    "ComponentStats",
+    "BreakdownSummary",
+    "collect_breakdowns",
+    "summarize",
+    "render_breakdown",
+    "export_chrome",
+    "validate_chrome",
+    "dump_jsonl",
+    "load_jsonl",
+    "CHROME_PHASES",
+    "HANDLER_TID",
+    "REMOTE_PROTOS",
+    "COMPONENTS",
+    "COMP_SOFTWARE",
+    "COMP_QUEUE",
+    "COMP_WIRE",
+    "COMP_HANDLER",
+    "COMP_PIGGYBACK",
+    "OP_BEGIN",
+    "OP_END",
+    "PHASE",
+    "CACHE_LOOKUP",
+    "CACHE_SEED",
+    "CACHE_EVICT",
+    "CACHE_INVALIDATE",
+    "PIN",
+    "UNPIN",
+    "AM_SEND",
+    "AM_RECV",
+    "AM_REPLY_SEND",
+    "AM_REPLY_RECV",
+    "RDMA_ISSUE",
+    "RDMA_COMPLETE",
+    "QUEUE_ENTER",
+    "QUEUE_LEAVE",
+    "HANDLER_BEGIN",
+    "HANDLER_END",
+    "BULK_PLAN",
+    "BULK_ISSUE",
+    "BULK_DRAIN",
+    "COUNTER",
+]

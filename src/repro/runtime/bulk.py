@@ -38,6 +38,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.events import (
+    BULK_DRAIN,
+    BULK_ISSUE,
+    BULK_PLAN,
+    OP_BEGIN,
+    OP_END,
+)
 from repro.sim.event import AllOf, AnyOf
 from repro.runtime.shared_array import SharedArray
 
@@ -79,6 +86,43 @@ class BulkEngine:
         self.rt = runtime
         self.max_inflight = runtime.config.bulk_max_inflight
         self.max_coalesce_bytes = runtime.config.bulk_max_coalesce_bytes
+        #: Gauge: wire messages currently in flight across all bulk
+        #: operations (sampled by :mod:`repro.obs.sampler`).
+        self.live_messages = 0
+
+    def _span_begin(self, thread: "UPCThread", name: str,
+                    nspans: int) -> int:
+        log = self.rt.events
+        if not log.enabled:
+            return -1
+        op_id = log.next_op_id()
+        log.emit(self.rt.sim.now, OP_BEGIN, op=op_id, thread=thread.id,
+                 node=thread.node.id, name=name, spans=nspans)
+        return op_id
+
+    def _plan_event(self, thread: "UPCThread", op_id: int,
+                    items: List[object]) -> None:
+        log = self.rt.events
+        if not log.enabled:
+            return
+        n_msgs = sum(1 for it in items if isinstance(it, _Message))
+        n_segs = sum(len(it.segments) for it in items
+                     if isinstance(it, _Message))
+        log.emit(self.rt.sim.now, BULK_PLAN, op=op_id, thread=thread.id,
+                 node=thread.node.id, messages=n_msgs,
+                 wire_segments=n_segs,
+                 coalesced=n_segs - n_msgs,
+                 local=len(items) - n_msgs)
+
+    def _span_end(self, thread: "UPCThread", op_id: int,
+                  nbytes: int) -> None:
+        log = self.rt.events
+        if log.enabled and op_id >= 0:
+            now = self.rt.sim.now
+            log.emit(now, BULK_DRAIN, op=op_id, thread=thread.id,
+                     node=thread.node.id)
+            log.emit(now, OP_END, op=op_id, thread=thread.id,
+                     node=thread.node.id, proto="bulk", nbytes=nbytes)
 
     # ------------------------------------------------------------------
     # Planning
@@ -146,7 +190,8 @@ class BulkEngine:
     # ------------------------------------------------------------------
 
     def _drive(self, thread: "UPCThread", items: List[object],
-               local_gen, msg_gen, window: Optional[int]):
+               local_gen, msg_gen, window: Optional[int],
+               op_id: int = -1):
         """Issue plan ``items`` under a sliding in-flight window with
         completion-driven refill.
 
@@ -159,6 +204,7 @@ class BulkEngine:
         """
         sim = self.rt.sim
         m = self.rt.metrics
+        log = self.rt.events
         depth = max(1, self.max_inflight if window is None else window)
         inflight: List = []
         procs: List = []
@@ -171,13 +217,24 @@ class BulkEngine:
                 continue
             proc = sim.process(
                 msg_gen(item), name=f"bulk[t{thread.id}->n{item.node}]")
+            self.live_messages += 1
+            proc.add_callback(self._message_done)
             inflight.append(proc)
             procs.append(proc)
             m.bulk_depth.add(len(inflight))
+            if log.enabled:
+                log.emit(sim.now, BULK_ISSUE, op=op_id,
+                         thread=thread.id, node=thread.node.id,
+                         dst=item.node, nbytes=item.nbytes,
+                         segments=len(item.segments),
+                         inflight=len(inflight))
         pending = [p for p in inflight if not p.triggered]
         if pending:
             yield AllOf(sim, pending)
         return procs
+
+    def _message_done(self, _ev) -> None:
+        self.live_messages -= 1
 
     # -- GET ------------------------------------------------------------
 
@@ -188,7 +245,9 @@ class BulkEngine:
         array per input span, in input order."""
         rt = self.rt
         rt.metrics.bulk_transfers += 1
+        op_id = self._span_begin(thread, "bulk_get", len(spans))
         items = self._plan(thread, array, spans)
+        self._plan_event(thread, op_id, items)
         out = [np.empty(nelems, dtype=array.dtype) for _, nelems in spans]
 
         def scatter(seg: Segment, values) -> None:
@@ -203,14 +262,18 @@ class BulkEngine:
         def msg_gen(msg: _Message):
             segs = [(start, count) for _, _, start, count in msg.segments]
             pieces = yield from rt.ops.bulk_get(
-                thread, array, msg.node, segs, msg.nbytes)
+                thread, array, msg.node, segs, msg.nbytes,
+                parent_op=op_id)
             for seg, piece in zip(msg.segments, pieces):
                 scatter(seg, piece)
 
         procs = yield from self._drive(thread, items, local_gen, msg_gen,
-                                       window)
+                                       window, op_id)
         for proc in procs:
             _ = proc.value  # re-raise any transfer failure
+        self._span_end(thread, op_id,
+                       sum(nelems for _, nelems in spans)
+                       * array.elem_size)
         return out
 
     # -- PUT ------------------------------------------------------------
@@ -224,11 +287,13 @@ class BulkEngine:
         scalar PUT path tracks it."""
         rt = self.rt
         rt.metrics.bulk_transfers += 1
+        op_id = self._span_begin(thread, "bulk_put", len(puts))
         values = [np.asarray(v, dtype=array.dtype).ravel()
                   for _, v in puts]
         spans = [(index, len(vals))
                  for (index, _), vals in zip(puts, values)]
         items = self._plan(thread, array, spans)
+        self._plan_event(thread, op_id, items)
 
         def seg_values(seg: Segment) -> np.ndarray:
             span_idx, offset, _, count = seg
@@ -242,10 +307,12 @@ class BulkEngine:
         def msg_gen(msg: _Message):
             pairs = [(seg[2], seg_values(seg)) for seg in msg.segments]
             yield from rt.ops.bulk_put(thread, array, msg.node, pairs,
-                                       msg.nbytes)
+                                       msg.nbytes, parent_op=op_id)
 
         procs = yield from self._drive(thread, items, local_gen, msg_gen,
-                                       window)
+                                       window, op_id)
         for proc in procs:
             _ = proc.value  # re-raise any transfer failure
+        self._span_end(thread, op_id,
+                       sum(len(v) for v in values) * array.elem_size)
         return None

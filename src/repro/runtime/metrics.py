@@ -86,15 +86,22 @@ class RuntimeMetrics:
         return {
             "remote_gets": self.get_remote.n,
             "remote_get_mean_us": self.get_remote.mean,
+            "remote_get_p50_us": self.get_remote_digest.p50.value,
+            "remote_get_p99_us": self.get_remote_digest.p99.value,
             "remote_puts": self.put_remote.n,
             "remote_put_mean_us": self.put_remote.mean,
             "shm_accesses": self.get_shm.n + self.put_shm.n,
             "local_accesses": self.get_local.n + self.put_local.n,
+            "rdma_gets": self.rdma_gets,
+            "rdma_puts": self.rdma_puts,
+            "am_gets": self.am_gets,
+            "am_puts": self.am_puts,
             "rdma_fraction": self.rdma_fraction,
             "barriers": self.barriers,
             "compute_time_us": self.compute_time_us,
             "bulk_messages": self.bulk_messages,
             "bulk_coalesced_segments": self.bulk_coalesced_segments,
+            "bulk_bytes_saved": self.bulk_bytes_saved,
             "bulk_mean_depth": self.bulk_depth.mean,
         }
 

@@ -29,6 +29,14 @@ import numpy as np
 from repro.core.piggyback import PiggybackMode
 from repro.core.policy import ranges_to_pin
 from repro.network.node import Node
+from repro.obs.events import (
+    CACHE_LOOKUP,
+    CACHE_SEED,
+    COMP_PIGGYBACK,
+    OP_BEGIN,
+    OP_END,
+    PHASE,
+)
 from repro.runtime.shared_array import SharedArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,6 +50,24 @@ class OpEngine:
     def __init__(self, runtime: "Runtime") -> None:
         self.rt = runtime
         self.params = runtime.cluster.params
+
+    def _begin(self, thread: "UPCThread", name: str, **attrs) -> int:
+        """Open a flight-recorder op span; returns op id (-1 if off)."""
+        log = self.rt.events
+        if not log.enabled:
+            return -1
+        op_id = log.next_op_id()
+        log.emit(self.rt.sim.now, OP_BEGIN, op=op_id, thread=thread.id,
+                 node=thread.node.id, name=name, **attrs)
+        return op_id
+
+    def _end(self, thread: "UPCThread", op_id: int, proto: str,
+             **attrs) -> None:
+        log = self.rt.events
+        if log.enabled and op_id >= 0:
+            log.emit(self.rt.sim.now, OP_END, op=op_id,
+                     thread=thread.id, node=thread.node.id,
+                     proto=proto, **attrs)
 
     # ------------------------------------------------------------------
     # GET
@@ -59,6 +85,7 @@ class OpEngine:
         p = self.params
         self._check_live(array)
         self._check_one_owner(array, index, nelems)
+        op_id = self._begin(thread, "get", index=index, nelems=nelems)
         yield sim.timeout(p.o_sw_us)
 
         owner_thread = array.owner_thread(index)
@@ -69,12 +96,14 @@ class OpEngine:
             yield sim.timeout(p.local_access_us)
             rt.metrics.record_get("local", sim.now - t0)
             self._trace(thread, "get:local", t0)
+            self._end(thread, op_id, "local", nbytes=nbytes)
             return array.read(index, nelems)
 
         if owner_node_id == thread.node.id:
             yield sim.timeout(p.shm_access_us + p.copy_time(nbytes))
             rt.metrics.record_get("shm", sim.now - t0)
             self._trace(thread, "get:shm", t0)
+            self._end(thread, op_id, "shm", nbytes=nbytes)
             return array.read(index, nelems)
 
         src = thread.node
@@ -86,15 +115,17 @@ class OpEngine:
         src.progress.enter_runtime()
         try:
             proto = yield from self._remote_get(thread, src, dst, array,
-                                                index, nbytes)
+                                                index, nbytes, op_id)
         finally:
             src.progress.leave_runtime()
         rt.metrics.record_get("remote", sim.now - t0)
         self._trace(thread, f"get:{proto}", t0)
+        self._end(thread, op_id, proto, nbytes=nbytes)
         return array.read(index, nelems)
 
     def bulk_get(self, thread: "UPCThread", array: SharedArray,
-                 node_id: int, segments, nbytes: int):
+                 node_id: int, segments, nbytes: int,
+                 parent_op: int = -1):
         """One coalesced wire GET on behalf of the bulk engine.
 
         ``segments`` is a list of ``(start, count)`` affine segments
@@ -108,32 +139,41 @@ class OpEngine:
         sim = rt.sim
         t0 = sim.now
         self._check_live(array)
+        op_id = self._begin(thread, "get", bulk=True, parent=parent_op,
+                            segments=len(segments))
         yield sim.timeout(self.params.o_sw_us)
         src = thread.node
         dst = rt.cluster.node(node_id)
         src.progress.enter_runtime()
         try:
             proto = yield from self._remote_get(
-                thread, src, dst, array, segments[0][0], nbytes)
+                thread, src, dst, array, segments[0][0], nbytes, op_id)
         finally:
             src.progress.leave_runtime()
         rt.metrics.record_get("remote", sim.now - t0)
         self._trace(thread, f"get:{proto}", t0)
+        self._end(thread, op_id, proto, nbytes=nbytes)
         return [array.read(start, count) for start, count in segments]
 
     def _remote_get(self, thread: "UPCThread", src: Node, dst: Node,
-                    array: SharedArray, index: int, nbytes: int):
+                    array: SharedArray, index: int, nbytes: int,
+                    op_id: int = -1):
         rt = self.rt
         sim = rt.sim
+        log = rt.events
         cache = rt.addr_cache(src.id)
         base, cost = cache.lookup(array.handle, dst.id)
+        if log.enabled:
+            log.emit(sim.now, CACHE_LOOKUP, op=op_id, thread=thread.id,
+                     node=src.id, target=dst.id, hit=base is not None)
         if cost:
             yield sim.timeout(cost)
 
         if base is not None:
             # Fast path (Figure 3b): address known, fire RDMA.
             rt.metrics.rdma_gets += 1
-            yield from rt.cluster.transport.rdma_get(src, dst, nbytes)
+            yield from rt.cluster.transport.rdma_get(src, dst, nbytes,
+                                                     op_id=op_id)
             return "rdma"
 
         # Slow path (Figure 3a / Figure 5): default protocol, asking
@@ -145,11 +185,12 @@ class OpEngine:
             # then RDMA for the data itself.
             reply = yield from rt.cluster.transport.default_get(
                 src, dst, self.params.ctrl_bytes,
-                self._make_addr_handler(array, dst, index))
+                self._make_addr_handler(array, dst, index), op_id=op_id)
             if reply.payload is not None:
-                yield sim.timeout(cache.insert(array.handle, dst.id,
-                                               reply.payload))
-            yield from rt.cluster.transport.rdma_get(src, dst, nbytes)
+                yield from self._seed_cache(cache, array, src, dst,
+                                            reply.payload, op_id)
+            yield from rt.cluster.transport.rdma_get(src, dst, nbytes,
+                                                     op_id=op_id)
             return "am"
 
         handler = self._make_get_handler(
@@ -159,11 +200,27 @@ class OpEngine:
         _, dst_vaddr = array.addr_of(index)
         reply = yield from rt.cluster.transport.default_get(
             src, dst, nbytes, handler,
-            src_addr=src.memory.base, dst_addr=dst_vaddr)
+            src_addr=src.memory.base, dst_addr=dst_vaddr, op_id=op_id)
         if reply.payload is not None:
-            yield sim.timeout(cache.insert(array.handle, dst.id,
-                                           reply.payload))
+            yield from self._seed_cache(cache, array, src, dst,
+                                        reply.payload, op_id)
         return "am"
+
+    def _seed_cache(self, cache, array: SharedArray, src: Node,
+                    dst: Node, base_addr: int, op_id: int):
+        """Insert a piggybacked address; the insert cost is the
+        piggyback's software share of the op's critical path."""
+        rt = self.rt
+        sim = rt.sim
+        log = rt.events
+        cost = cache.insert(array.handle, dst.id, base_addr)
+        if log.enabled:
+            log.emit(sim.now, CACHE_SEED, op=op_id, node=src.id,
+                     target=dst.id, handle=str(array.handle))
+        yield sim.timeout(cost)
+        if log.enabled and op_id >= 0 and cost > 0:
+            log.emit(sim.now, PHASE, op=op_id, node=src.id,
+                     comp=COMP_PIGGYBACK, dur=cost)
 
     # ------------------------------------------------------------------
     # PUT
@@ -188,6 +245,7 @@ class OpEngine:
             values = np.resize(values, nelems)
         self._check_live(array)
         self._check_one_owner(array, index, nelems)
+        op_id = self._begin(thread, "put", index=index, nelems=nelems)
         yield sim.timeout(p.o_sw_us)
 
         owner_thread = array.owner_thread(index)
@@ -199,6 +257,7 @@ class OpEngine:
             array.write(index, values)
             rt.metrics.record_put("local", sim.now - t0)
             self._trace(thread, "put:local", t0)
+            self._end(thread, op_id, "local", nbytes=nbytes)
             return
 
         if owner_node_id == thread.node.id:
@@ -206,6 +265,7 @@ class OpEngine:
             array.write(index, values)
             rt.metrics.record_put("shm", sim.now - t0)
             self._trace(thread, "put:shm", t0)
+            self._end(thread, op_id, "shm", nbytes=nbytes)
             return
 
         src = thread.node
@@ -213,15 +273,18 @@ class OpEngine:
         src.progress.enter_runtime()
         try:
             ticket, proto = yield from self._remote_put(
-                thread, src, dst, array, [(index, values)], nbytes)
+                thread, src, dst, array, [(index, values)], nbytes,
+                op_id)
         finally:
             src.progress.leave_runtime()
         rt.metrics.record_put("remote", sim.now - t0)
         self._trace(thread, f"put:{proto}", t0)
+        self._end(thread, op_id, proto, nbytes=nbytes)
         return ticket
 
     def bulk_put(self, thread: "UPCThread", array: SharedArray,
-                 node_id: int, pairs, nbytes: int):
+                 node_id: int, pairs, nbytes: int,
+                 parent_op: int = -1):
         """One coalesced wire PUT on behalf of the bulk engine.
 
         ``pairs`` is a list of ``(start, values)`` affine segments,
@@ -233,38 +296,47 @@ class OpEngine:
         sim = rt.sim
         t0 = sim.now
         self._check_live(array)
+        op_id = self._begin(thread, "put", bulk=True, parent=parent_op,
+                            segments=len(pairs))
         yield sim.timeout(self.params.o_sw_us)
         src = thread.node
         dst = rt.cluster.node(node_id)
         src.progress.enter_runtime()
         try:
             ticket, proto = yield from self._remote_put(
-                thread, src, dst, array, pairs, nbytes)
+                thread, src, dst, array, pairs, nbytes, op_id)
         finally:
             src.progress.leave_runtime()
         rt.metrics.record_put("remote", sim.now - t0)
         self._trace(thread, f"put:{proto}", t0)
+        self._end(thread, op_id, proto, nbytes=nbytes)
         return ticket
 
     def _remote_put(self, thread: "UPCThread", src: Node, dst: Node,
-                    array: SharedArray, pairs, nbytes: int):
+                    array: SharedArray, pairs, nbytes: int,
+                    op_id: int = -1):
         """Issue one wire PUT covering ``pairs`` — a list of
         ``(index, values)`` segments contiguous in the target arena
         (a single-segment list for the scalar path)."""
         rt = self.rt
         sim = rt.sim
+        log = rt.events
         cache = rt.addr_cache(src.id)
         index = pairs[0][0]
         snapshots = [(i, np.asarray(v).copy()) for i, v in pairs]
 
         if rt.use_rdma_put:
             base, cost = cache.lookup(array.handle, dst.id)
+            if log.enabled:
+                log.emit(sim.now, CACHE_LOOKUP, op=op_id,
+                         thread=thread.id, node=src.id, target=dst.id,
+                         hit=base is not None)
             if cost:
                 yield sim.timeout(cost)
             if base is not None:
                 rt.metrics.rdma_puts += 1
                 ticket = yield from rt.cluster.transport.rdma_put(
-                    src, dst, nbytes)
+                    src, dst, nbytes, op_id=op_id)
                 self._apply_on(ticket.remote_applied, array, snapshots)
                 thread.track_put(ticket.remote_applied)
                 return ticket, "rdma"
@@ -280,11 +352,12 @@ class OpEngine:
         _, dst_vaddr = array.addr_of(index)
         ticket = yield from rt.cluster.transport.default_put(
             src, dst, nbytes, handler,
-            src_addr=src.memory.base, dst_addr=dst_vaddr)
+            src_addr=src.memory.base, dst_addr=dst_vaddr, op_id=op_id)
         self._apply_on(ticket.remote_applied, array, snapshots)
         thread.track_put(ticket.remote_applied)
         if want_addr:
-            self._insert_on_ack(ticket.remote_applied, src, dst, array)
+            self._insert_on_ack(ticket.remote_applied, src, dst, array,
+                                op_id)
         return ticket, "am"
 
     def _apply_on(self, remote_applied, array: SharedArray,
@@ -299,7 +372,7 @@ class OpEngine:
         remote_applied.add_callback(_apply)
 
     def _insert_on_ack(self, remote_applied, src: Node, dst: Node,
-                       array: SharedArray) -> None:
+                       array: SharedArray, op_id: int = -1) -> None:
         """PiggybackMode.ON_ACK path: once the target applied the put,
         the ACK carries the base address back after one wire latency."""
         rt = self.rt
@@ -316,6 +389,11 @@ class OpEngine:
             if base is not None:
                 cache = rt.addr_cache(src.id)
                 cache.insert(array.handle, dst.id, base)
+                log = rt.events
+                if log.enabled:
+                    log.emit(rt.sim.now, CACHE_SEED, op=op_id,
+                             node=src.id, target=dst.id,
+                             handle=str(array.handle), on_ack=True)
 
         def _spawn(ev):
             rt.sim.process(_tail(), name="put-ack-piggyback")

@@ -99,6 +99,10 @@ class RuntimeConfig:
     seed: int = 0
     #: Optional Paraver-style tracer (see :mod:`repro.trace`).
     tracer: Optional[object] = None
+    #: Optional flight recorder (an :class:`repro.obs.EventLog`); when
+    #: None a disabled log is used and recording costs one branch per
+    #: instrumentation site (see :mod:`repro.obs`).
+    events: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.nthreads < 1:
@@ -140,6 +144,14 @@ class Runtime:
         self.nthreads = config.nthreads
         self._tpn = config.effective_threads_per_node
 
+        # Flight recorder: a disabled EventLog when not requested, so
+        # instrumentation sites can always write `if events.enabled:`.
+        if config.events is not None:
+            self.events = config.events
+        else:
+            from repro.obs.events import EventLog
+            self.events = EventLog(enabled=False)
+
         # Per-node runtime structures.
         self._svd: Dict[int, SVDReplica] = {}
         self._caches: Dict[int, RemoteAddressCache] = {}
@@ -159,6 +171,14 @@ class Runtime:
                          and config.machine.transport.supports_rdma),
             )
             self._pinned[node.id] = PinnedAddressTable(node.pins)
+            # Observability hookup (attribute injection keeps the core
+            # data structures constructible without a runtime).
+            for obj in (self._caches[node.id], self._pinned[node.id]):
+                obj.events = self.events
+                obj.clock = self.sim
+                obj.node_id = node.id
+            node.progress.events = self.events
+        self.cluster.transport.events = self.events
 
         self.handles = HandleAllocator(config.nthreads)
         self.metrics = RuntimeMetrics()

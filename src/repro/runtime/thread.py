@@ -22,6 +22,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.events import OP_BEGIN, OP_END
 from repro.runtime.errors import UPCRuntimeError
 from repro.runtime.shared_array import SharedArray
 from repro.runtime.shared_lock import SharedLock
@@ -70,6 +71,23 @@ class UPCThread:
         finally:
             progress.leave_runtime()
         return result
+
+    def _span_begin(self, name: str) -> int:
+        """Open a flight-recorder span for a thread-level op (barrier,
+        lock, compute — strictly sequential per thread)."""
+        log = self.runtime.events
+        if not log.enabled:
+            return -1
+        op_id = log.next_op_id()
+        log.emit(self.runtime.sim.now, OP_BEGIN, op=op_id,
+                 thread=self.id, node=self.node.id, name=name)
+        return op_id
+
+    def _span_end(self, op_id: int, **attrs) -> None:
+        log = self.runtime.events
+        if log.enabled and op_id >= 0:
+            log.emit(self.runtime.sim.now, OP_END, op=op_id,
+                     thread=self.id, node=self.node.id, **attrs)
 
     # -- data movement -------------------------------------------------------
 
@@ -288,12 +306,14 @@ class UPCThread:
     def barrier(self):
         """``upc_barrier``: fence + global barrier."""
         t0 = self.runtime.sim.now
+        op_id = self._span_begin("barrier")
         yield from self.fence()
         yield from self._in_runtime(
             self.runtime.barrier_mgr.wait(self))
         tracer = self.runtime.config.tracer
         if tracer is not None:
             tracer.record(self.id, "barrier", t0, self.runtime.sim.now)
+        self._span_end(op_id)
 
     def barrier_notify(self):
         """``upc_notify``: split-phase barrier arrival.  Returns
@@ -311,12 +331,15 @@ class UPCThread:
         """``upc_lock``: AM round trip to the home node + queueing."""
         rt = self.runtime
 
+        op_id = self._span_begin("lock")
+
         def _go():
             if lck.owner_node != self.node.id:
                 yield from rt.cluster.transport.default_get(
                     self.node, rt.cluster.node(lck.owner_node),
                     rt.cluster.params.ctrl_bytes,
-                    lambda n: (rt.cluster.params.svd_lookup_us, None, 0))
+                    lambda n: (rt.cluster.params.svd_lookup_us, None, 0),
+                    op_id=op_id)
             else:
                 yield rt.sim.timeout(rt.cluster.params.shm_access_us)
             yield lck._res.acquire()
@@ -324,6 +347,7 @@ class UPCThread:
             rt.metrics.lock_acquires += 1
 
         yield from self._in_runtime(_go())
+        self._span_end(op_id)
 
     def unlock(self, lck: SharedLock):
         """``upc_unlock``: release travels back to the home node."""
@@ -356,10 +380,12 @@ class UPCThread:
         self.runtime.metrics.compute_time_us += usec
         if usec > 0:
             t0 = self.runtime.sim.now
+            op_id = self._span_begin("compute")
             yield self.runtime.sim.timeout(usec)
             tracer = self.runtime.config.tracer
             if tracer is not None:
                 tracer.record(self.id, "compute", t0, self.runtime.sim.now)
+            self._span_end(op_id, usec=usec)
 
     def poll(self):
         """An explicit runtime tick (``upc_poll``-alike): lets queued

@@ -46,6 +46,7 @@ from repro.testing.runner import (
     check_invariants,
     config_by_name,
     fuzz,
+    record_flight,
     run_config,
     run_differential,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "fuzz",
     "generate_program",
     "live_objects_at_end",
+    "record_flight",
     "run_config",
     "run_differential",
     "run_oracle",

@@ -485,10 +485,44 @@ class FuzzReport:
         return not self.failures
 
 
+def record_flight(program: Program, point: ConfigPoint,
+                  path: str) -> int:
+    """Replay ``program`` under ``point`` with the flight recorder on
+    and dump the event log as JSONL to ``path``.
+
+    The replay is expected to diverge or even crash — that is why it
+    is being recorded — so the run is wrapped and whatever events were
+    captured up to the failure are flushed.  Returns the number of
+    events written.
+    """
+    import os
+
+    from repro.obs.events import EventLog
+    from repro.obs.export import dump_jsonl
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    events = EventLog()
+    cfg = replace(point.runtime_config(program.nthreads,
+                                       seed=program.seed or 0),
+                  events=events)
+    rt = Runtime(cfg)
+    driver = _Driver(rt, program)
+    rt.spawn(driver.kernel)
+    try:
+        rt.run()
+    except Exception:  # noqa: BLE001 - the crash is the point
+        pass
+    dump_jsonl(events, path)
+    return len(events)
+
+
 def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
          configs: Optional[List[ConfigPoint]] = None,
          shrink_failures: bool = True,
          corpus_dir: Optional[str] = None,
+         trace_dir: Optional[str] = None,
          log=print) -> FuzzReport:
     """Generate-one, replay-everywhere, shrink-on-failure.
 
@@ -496,7 +530,11 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
     program is greedily shrunk (re-validating every candidate, so the
     minimized program is still race-free) and the reproducer is
     printed as a pytest snippet; with ``corpus_dir`` set it is also
-    serialized there as JSON for the regression corpus.
+    serialized there as JSON for the regression corpus.  With
+    ``trace_dir`` set each shrunk failing program is additionally
+    replayed under the first failing config with the protocol flight
+    recorder on, and the JSONL event log is written there (uploaded as
+    a CI artifact on failure; see docs/OBSERVABILITY.md).
     """
     from repro.testing.generator import generate_program
     from repro.testing.shrink import shrink
@@ -540,4 +578,12 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(reproducer.dumps(indent=2) + "\n")
             log(f"saved reproducer to {path}")
+        if trace_dir is not None:
+            import os
+            os.makedirs(trace_dir, exist_ok=True)
+            path = os.path.join(
+                trace_dir, f"shrunk-seed{seed}-{first_cfg}.events.jsonl")
+            point = next(p for p in matrix if p.name == first_cfg)
+            n = record_flight(reproducer, point, path)
+            log(f"saved flight-recorder log ({n} events) to {path}")
     return report

@@ -41,9 +41,9 @@ class StateRecord:
 class Tracer:
     """Collects state records; cheap enough to leave on in tests.
 
-    ``max_records`` bounds memory on huge runs (oldest semantics: once
-    the budget is hit, further records are dropped and
-    ``dropped_records`` counts them).
+    ``max_records`` bounds memory on huge runs (drop-newest semantics:
+    the first ``max_records`` records are kept, every later one is
+    dropped and ``dropped_records`` counts them).
     """
 
     __slots__ = ("records", "max_records", "dropped_records", "enabled")

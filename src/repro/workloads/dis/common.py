@@ -35,6 +35,8 @@ class DISBase:
     seed: int = 0
     #: Optional Paraver-style tracer (see :mod:`repro.trace`).
     tracer: Optional[Any] = None
+    #: Optional flight recorder (an :class:`repro.obs.EventLog`).
+    events: Optional[Any] = None
 
     def runtime(self) -> Runtime:
         cfg = RuntimeConfig(
@@ -53,6 +55,7 @@ class DISBase:
             bulk_max_coalesce_bytes=self.bulk_max_coalesce_bytes,
             seed=self.seed,
             tracer=self.tracer,
+            events=self.events,
         )
         return Runtime(cfg)
 

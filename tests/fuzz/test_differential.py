@@ -130,6 +130,50 @@ def test_mutation_corrupted_put_is_caught(monkeypatch):
 
 
 # ---------------------------------------------------------------------------
+# Flight-recorder capture of failures
+# ---------------------------------------------------------------------------
+
+def test_record_flight_dumps_replayable_jsonl(tmp_path):
+    from repro.obs import OP_END, load_jsonl
+    from repro.testing import record_flight
+
+    program = generate_program(2, n_ops=60)
+    path = tmp_path / "flight" / "prog.events.jsonl"
+    n = record_flight(program, config_by_name("gm-base"), str(path))
+    assert n > 0 and path.exists()
+    log = load_jsonl(str(path))
+    assert len(log) == n
+    assert log.by_kind(OP_END), "replay must record completed ops"
+
+
+def test_fuzz_trace_dir_captures_failing_program(tmp_path, monkeypatch):
+    """On a divergence, ``trace_dir`` gets a flight-recorder log of the
+    shrunk reproducer (the CI failure artifact)."""
+    from repro.runtime.ops import OpEngine
+    from repro.testing import fuzz
+
+    real_put = OpEngine.put
+
+    def corrupting_put(self, thread, array, index, values, nelems=None):
+        v = np.asarray(values, dtype=array.dtype)
+        if np.issubdtype(v.dtype, np.integer):
+            v = v ^ np.asarray(1, dtype=v.dtype)
+        else:
+            v = v + 1.0
+        return real_put(self, thread, array, index, v, nelems=nelems)
+
+    monkeypatch.setattr(OpEngine, "put", corrupting_put)
+    trace_dir = tmp_path / "fuzz-traces"
+    report = fuzz(range(4), n_ops=120,
+                  configs=[config_by_name("gm-base")],
+                  shrink_failures=False, trace_dir=str(trace_dir),
+                  log=lambda *a, **k: None)
+    assert not report.ok, "value-corrupting put survived 4 seeds"
+    logs = list(trace_dir.glob("*.events.jsonl"))
+    assert logs, "no flight-recorder artifact written on failure"
+
+
+# ---------------------------------------------------------------------------
 # CLI plumbing
 # ---------------------------------------------------------------------------
 

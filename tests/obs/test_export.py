@@ -1,0 +1,160 @@
+"""Round-trip tests for the Chrome and JSONL exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.network import GM_MARENOSTRUM
+from repro.obs import (
+    CHROME_PHASES,
+    EventLog,
+    HANDLER_TID,
+    OP_END,
+    dump_jsonl,
+    export_chrome,
+    load_jsonl,
+    validate_chrome,
+)
+from repro.runtime import Runtime, RuntimeConfig
+
+
+def _recorded_run(nthreads=8, tpn=2):
+    log = EventLog()
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=nthreads,
+                        threads_per_node=tpn, seed=1, events=log)
+    rt = Runtime(cfg)
+
+    def kernel(th):
+        arr = yield from th.all_alloc(512, blocksize=16, dtype="u8")
+        yield from th.barrier()
+        peer = (th.id + th.nthreads // 2) % th.nthreads
+        for i in range(6):
+            idx = (peer * 16 + i) % 512
+            yield from th.get(arr, idx)
+        yield from th.compute(2.0)
+        yield from th.memget(arr, 0, 128)
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    rt.run()
+    return log
+
+
+# -- Chrome -------------------------------------------------------------
+
+def test_chrome_export_is_valid_and_spans_remote_ops():
+    log = _recorded_run()
+    doc = export_chrome(log)
+    assert validate_chrome(doc) == []
+    evs = doc["traceEvents"]
+    phases = {e["ph"] for e in evs}
+    assert phases <= set(CHROME_PHASES)
+    # Non-metadata timestamps are monotone non-decreasing.
+    ts = [e["ts"] for e in evs if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    # Exactly one X span per completed remote op, linked by op_id.
+    remote_ends = [e for e in log.by_kind(OP_END)
+                   if e.attrs.get("proto") in ("rdma", "am")]
+    assert remote_ends, "run must include remote ops"
+    span_ids = {e["args"]["op_id"] for e in evs
+                if e["ph"] == "X" and "op_id" in e.get("args", ())
+                and e["tid"] != HANDLER_TID}
+    for end in remote_ends:
+        assert end.op in span_ids
+
+
+def test_chrome_handler_track_links_initiator_to_target():
+    log = _recorded_run()
+    doc = export_chrome(log)
+    evs = doc["traceEvents"]
+    handler_spans = [e for e in evs
+                     if e["ph"] == "X" and e["tid"] == HANDLER_TID]
+    assert handler_spans, "AM handlers must appear on the NIC track"
+    thread_ops = {e["args"]["op_id"] for e in evs
+                  if e["ph"] == "X" and e["tid"] != HANDLER_TID
+                  and "op_id" in e.get("args", ())}
+    # Every target-side handler span names an initiator-side op.
+    for h in handler_spans:
+        assert h["args"]["op_id"] in thread_ops
+
+
+def test_chrome_barriers_are_balanced_be_pairs():
+    log = _recorded_run()
+    doc = export_chrome(log)
+    evs = doc["traceEvents"]
+    b = sum(1 for e in evs
+            if e["ph"] == "B" and e["name"].startswith("barrier"))
+    e_ = sum(1 for e in evs
+             if e["ph"] == "E" and e["name"].startswith("barrier"))
+    assert b > 0 and b == e_
+
+
+def test_chrome_counters_render_as_c_events():
+    log = _recorded_run()
+    doc = export_chrome(log, counters=[(1.0, 0, "cache_entries", 3.0),
+                                       (2.0, -1, "bulk_inflight", 1.0)])
+    cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(cs) == 2
+    assert cs[0]["args"]["value"] == 3.0
+
+
+def test_chrome_export_writes_json(tmp_path):
+    log = _recorded_run()
+    path = tmp_path / "trace.json"
+    export_chrome(log, dest=str(path))
+    doc = json.loads(path.read_text())
+    assert validate_chrome(doc) == []
+
+
+def test_validate_chrome_rejects_malformed():
+    assert validate_chrome([]) != []
+    assert validate_chrome({"traceEvents": [{"ph": "Q", "ts": 0,
+                                             "name": "x"}]}) != []
+    bad_ts = {"traceEvents": [
+        {"ph": "X", "ts": 5, "dur": 1, "name": "a", "pid": 0, "tid": 0},
+        {"ph": "X", "ts": 2, "dur": 1, "name": "b", "pid": 0, "tid": 0},
+    ]}
+    assert any("monotone" in p for p in validate_chrome(bad_ts))
+    unbalanced = {"traceEvents": [
+        {"ph": "E", "ts": 1, "name": "a", "pid": 0, "tid": 0}]}
+    assert any("without matching B" in p
+               for p in validate_chrome(unbalanced))
+    open_b = {"traceEvents": [
+        {"ph": "B", "ts": 1, "name": "a", "pid": 0, "tid": 0}]}
+    assert any("unclosed" in p for p in validate_chrome(open_b))
+
+
+# -- JSONL --------------------------------------------------------------
+
+def test_jsonl_round_trip_reproduces_the_log():
+    log = _recorded_run()
+    buf = io.StringIO()
+    n = dump_jsonl(log, buf)
+    assert n == len(log)
+    buf.seek(0)
+    back = load_jsonl(buf)
+    assert len(back) == len(log)
+    for orig, copy in zip(log, back):
+        assert orig.key() == copy.key()
+
+
+def test_jsonl_round_trip_preserves_dropped_count(tmp_path):
+    log = EventLog(max_events=1)
+    log.emit(0.0, "op_begin", op=1, name="get")
+    log.emit(1.0, "op_end", op=1, proto="am")
+    path = tmp_path / "events.jsonl"
+    n = dump_jsonl(log, str(path))
+    assert n == 2  # one event + the meta line
+    back = load_jsonl(str(path))
+    assert len(back) == 1
+    assert back.dropped_events == 1
+
+
+def test_chrome_export_from_reloaded_log_is_identical():
+    log = _recorded_run()
+    buf = io.StringIO()
+    dump_jsonl(log, buf)
+    buf.seek(0)
+    back = load_jsonl(buf)
+    assert export_chrome(log) == export_chrome(back)

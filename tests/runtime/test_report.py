@@ -62,6 +62,39 @@ def test_report_contains_key_sections():
     assert "rdma share" in report
 
 
+def test_metrics_summary_exposes_protocol_and_tail_keys():
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=8,
+                        threads_per_node=2, seed=1)
+    rt = Runtime(cfg)
+
+    def kernel(th):
+        arr = yield from th.all_alloc(256, blocksize=8, dtype="u4")
+        yield from th.barrier()
+        if th.id == 0:
+            for i in range(120, 140):
+                yield from th.get(arr, i)
+                yield from th.put(arr, i, arr.dtype.type(i))
+            yield from th.memget(arr, 64, 64)
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    res = rt.run()
+    summary = res.metrics.summary()
+    for key in ("rdma_gets", "rdma_puts", "am_gets", "am_puts",
+                "bulk_bytes_saved", "remote_get_p50_us",
+                "remote_get_p99_us"):
+        assert key in summary, key
+    m = res.metrics
+    # Per-protocol counts must reconcile with the remote totals.
+    assert summary["rdma_gets"] + summary["am_gets"] == m.get_remote.n
+    assert summary["rdma_puts"] + summary["am_puts"] == m.put_remote.n
+    assert m.get_remote.n > 0
+    # The digest tracks the same population the mean does.
+    assert m.get_remote_digest.count == m.get_remote.n
+    assert (summary["remote_get_p50_us"]
+            <= summary["remote_get_p99_us"])
+
+
 def test_report_truncates_many_nodes():
     cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=48,
                         threads_per_node=4, seed=1)

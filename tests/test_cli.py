@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -21,3 +23,39 @@ def test_cli_miss_overhead(capsys):
     assert main(["miss_overhead", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "overhead_pct" in out
+
+
+def test_cli_trace_chrome_smoke(tmp_path, capsys):
+    from repro.obs import validate_chrome
+
+    out_dir = tmp_path / "trace-out"
+    assert main(["trace", "pointer", "--quick", "--format", "chrome",
+                 "--out", str(out_dir)]) == 0
+    artifact = out_dir / "pointer.trace.json"
+    assert artifact.exists()
+    doc = json.loads(artifact.read_text())
+    assert validate_chrome(doc) == []
+    out = capsys.readouterr().out
+    assert "recorded events" in out
+
+
+def test_cli_trace_breakdown_and_jsonl(tmp_path, capsys):
+    from repro.obs import collect_breakdowns, load_jsonl, summarize
+
+    out_dir = tmp_path / "trace-out"
+    assert main(["trace", "field", "--quick", "--format", "jsonl",
+                 "--breakdown", "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "latency breakdown" in out
+    assert (out_dir / "field.breakdown.txt").exists()
+    log = load_jsonl(str(out_dir / "field.events.jsonl"))
+    s = summarize(collect_breakdowns(log))
+    assert s.n_ops > 0
+    # The acceptance criterion: components sum to the end-to-end mean
+    # within 1%.
+    assert s.component_mean_sum == pytest.approx(s.e2e_mean, rel=0.01)
+
+
+def test_cli_trace_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["trace", "nonesuch"])

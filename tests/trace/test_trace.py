@@ -67,11 +67,64 @@ def test_find_outliers():
     assert find_outliers(t, "nothing") == []
 
 
+def _bimodal_tracer():
+    """90 fast cache-hit GETs (1us) + 10 slow miss GETs (20us)."""
+    t = Tracer()
+    now = 0.0
+    for _ in range(90):
+        t.record(0, "get:rdma", now, now + 1.0)
+        now += 1.0
+    for _ in range(10):
+        t.record(0, "get:rdma", now, now + 20.0)
+        now += 20.0
+    return t
+
+
+def test_find_outliers_mean_factor_on_bimodal_trace():
+    t = _bimodal_tracer()
+    # mean = (90*1 + 10*20)/100 = 2.9us; factor 4 -> threshold 11.6us:
+    # the mean-relative detector flags the entire slow mode.
+    out = find_outliers(t, "get:rdma", factor=4.0)
+    assert len(out) == 10
+    assert all(r.duration == 20.0 for r in out)
+
+
+def test_find_outliers_percentile_on_bimodal_trace():
+    t = _bimodal_tracer()
+    # p=95 lands inside the slow mode (threshold 20us), so only
+    # records strictly above it qualify: none here...
+    assert find_outliers(t, "get:rdma", p=95) == []
+    # ...while p=89 sits at the fast/slow boundary and flags exactly
+    # the slow mode.
+    out = find_outliers(t, "get:rdma", p=89)
+    assert len(out) == 10
+    # A single 200us straggler is what p=99 is for.
+    t.record(0, "get:rdma", 1000.0, 1200.0)
+    out = find_outliers(t, "get:rdma", p=99)
+    assert [r.duration for r in out] == [200.0]
+
+
+def test_find_outliers_percentile_validation():
+    t = _bimodal_tracer()
+    with pytest.raises(ValueError):
+        find_outliers(t, "get:rdma", p=101)
+
+
 def test_render_profile_is_tabular():
     t = Tracer()
     t.record(0, "compute", 0, 4)
     text = render_profile(t)
     assert "compute" in text and "share" in text
+    assert "dropped" not in text
+
+
+def test_render_profile_reports_dropped_records():
+    t = Tracer(max_records=2)
+    for i in range(5):
+        t.record(0, "compute", i, i + 1)
+    text = render_profile(t)
+    assert "3 record(s) dropped" in text
+    assert "max_records=2" in text
 
 
 def test_runtime_integration_records_ops():
