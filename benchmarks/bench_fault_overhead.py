@@ -1,0 +1,79 @@
+"""The fault plane's zero-cost-when-off guarantee, quantified.
+
+A reliability layer that slows down the healthy fabric is a tax on
+every run that never needed it: the acceptance bar is that a run with
+an *empty* fault plan inflates the simulator's event count by less
+than 5% over a runtime with no plan at all — and, stronger, that the
+two are bit-identical (same event count, same virtual time), because
+an empty plan installs no injector and the transport takes its exact
+original paths.  A dormant plan — rules present but gated behind a
+window that never opens — is allowed to cost simulator events for its
+fate draws and timers, but must leave virtual time within the same
+5% bar.  The chaos column shows what recovery actually costs when the
+fabric fights back.
+"""
+
+import time
+
+from repro.faults import PROFILES, FaultPlan, LinkFault
+from repro.network import GM_MARENOSTRUM
+from repro.workloads import FieldParams, run_field
+
+#: Field stressmark sized to a few thousand remote ops.
+_PARAMS = dict(machine=GM_MARENOSTRUM, nthreads=16, threads_per_node=4,
+               nelems=32 * 1024, ntokens=4, seed=1)
+
+#: Rules that can never fire: the window opens long after the run ends.
+_DORMANT = FaultPlan(seed=1, links=(
+    LinkFault(kind="drop", prob=1.0, t_start=1e12, scope="both"),))
+
+
+def _run(fault_plan):
+    t0 = time.perf_counter()
+    res = run_field(FieldParams(fault_plan=fault_plan, **_PARAMS))
+    wall = time.perf_counter() - t0
+    return res.run, wall
+
+
+def test_fault_plane_overhead(benchmark):
+    def measure():
+        base, base_wall = _run(fault_plan=None)
+        empty, empty_wall = _run(fault_plan=FaultPlan(seed=7))
+        dormant, dormant_wall = _run(fault_plan=_DORMANT)
+        chaos, chaos_wall = _run(fault_plan=PROFILES["chaos"].with_seed(7))
+        return {
+            "base": base, "empty": empty, "dormant": dormant,
+            "chaos": chaos, "base_wall": base_wall,
+            "empty_wall": empty_wall, "dormant_wall": dormant_wall,
+            "chaos_wall": chaos_wall,
+        }
+
+    r = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base, empty, dormant = r["base"], r["empty"], r["dormant"]
+    chaos = r["chaos"]
+    empty_inflation = (empty.sim_events - base.sim_events) / base.sim_events
+    dormant_time = (dormant.elapsed_us - base.elapsed_us) / base.elapsed_us
+    chaos_time = (chaos.elapsed_us - base.elapsed_us) / base.elapsed_us
+    print()
+    print("fault-plane overhead (field, 16 threads / 4 nodes):")
+    print(f"  {'mode':>10} {'sim_events':>11} {'elapsed_us':>12} "
+          f"{'wall_s':>8}")
+    for name, res, wall in (("no plan", base, r["base_wall"]),
+                            ("empty", empty, r["empty_wall"]),
+                            ("dormant", dormant, r["dormant_wall"]),
+                            ("chaos", chaos, r["chaos_wall"])):
+        print(f"  {name:>10} {res.sim_events:>11d} "
+              f"{res.elapsed_us:>12.1f} {wall:>8.3f}")
+    print(f"  empty-plan event inflation: {empty_inflation:.2%} "
+          f"(bar: < 5%); dormant virtual-time inflation: "
+          f"{dormant_time:.2%} (bar: < 5%); chaos slowdown: "
+          f"{chaos_time:.2%}")
+    # The acceptance bar, and the stronger truths behind it.
+    assert empty_inflation < 0.05
+    assert empty.sim_events == base.sim_events
+    assert empty.elapsed_us == base.elapsed_us
+    assert dormant_time < 0.05
+    # Chaos recovers — slower, but it finishes and answers correctly
+    # (the fuzz harness asserts the answers; here we just require the
+    # run to have completed with a sane clock).
+    assert chaos.elapsed_us >= base.elapsed_us

@@ -12,19 +12,28 @@ Usage::
 
     python -m repro fuzz --seed 0 --ops 200 --quick
     python -m repro fuzz --seed 0..9 --ops 500 --matrix full
+    python -m repro fuzz --seed 0..24 --faults --fault-profile chaos
 
     python -m repro trace pointer --quick --format chrome
     python -m repro trace field --breakdown
+    python -m repro trace pointer --fault-profile drop --fault-seed 3
+
+    python -m repro run pointer --quick
+    python -m repro run field --fault-profile chaos --fault-seed 7
 
 ``--quick`` truncates size/scale sweeps for a fast look; the full
 sweeps match EXPERIMENTS.md.  ``fuzz`` runs the model-based
 differential harness (see :mod:`repro.testing`): each seed generates a
 race-free random UPC program, replays it across the config matrix, and
 compares every result with a flat-memory oracle, shrinking any failure
-to a pytest reproducer.  ``trace`` runs a stressmark with the protocol
+to a pytest reproducer; ``--faults`` additionally replays each program
+under a deterministic fault plan — the reliability layer must still
+converge to the oracle.  ``trace`` runs a stressmark with the protocol
 flight recorder on and exports Chrome-trace / JSONL / CSV artifacts
 plus the latency-breakdown table (see :mod:`repro.obs` and
-docs/OBSERVABILITY.md).
+docs/OBSERVABILITY.md).  ``run`` executes one DIS stressmark plainly
+and prints its summary — the quickest way to watch a fault profile
+(``--fault-profile``/``--fault-seed``, see docs/FAULTS.md) play out.
 """
 
 from __future__ import annotations
@@ -93,6 +102,65 @@ def _parse_seeds(text: str):
     return [int(text)]
 
 
+def run_main(argv) -> int:
+    """``python -m repro run`` — execute one DIS stressmark and print
+    its summary (optionally under a fault profile)."""
+    from repro.network.params import MACHINES
+    from repro.obs.cli import WORKLOADS, _workload
+    from repro.obs.events import EventLog
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run a DIS stressmark and print its summary; "
+                    "--fault-profile injects deterministic faults "
+                    "(see docs/FAULTS.md).")
+    ap.add_argument("workload", choices=WORKLOADS,
+                    help="which stressmark to run")
+    ap.add_argument("--quick", action="store_true",
+                    help="small problem sizes (smoke mode)")
+    ap.add_argument("--nthreads", type=int, default=8,
+                    help="UPC threads (default 8)")
+    ap.add_argument("--machine", default="gm", choices=sorted(MACHINES),
+                    help="machine model (default gm)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--fault-profile", default=None, metavar="SPEC",
+                    help="fault plan: a profile name (drop, dup, delay, "
+                         "stall, pin, chaos), inline JSON, or a JSON "
+                         "file path")
+    ap.add_argument("--fault-seed", type=int, default=None,
+                    help="override the fault plan's RNG seed")
+    args = ap.parse_args(argv)
+
+    fault_plan = None
+    if args.fault_profile is not None:
+        from repro.faults import resolve_profile
+        try:
+            fault_plan = resolve_profile(args.fault_profile,
+                                         fault_seed=args.fault_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
+
+    runner = _workload(args.workload, args.quick, args.machine,
+                       args.nthreads, args.seed,
+                       EventLog(enabled=False), None,
+                       fault_plan=fault_plan)
+    t0 = time.time()
+    result = runner()
+    run = result.run
+    m = run.metrics
+    print(f"run {args.workload}: {run.elapsed_us:.1f} virtual us, "
+          f"{run.sim_events} sim events, remote ops "
+          f"{m.remote_ops} (rdma share {m.rdma_fraction:.0%}), "
+          f"cache hit rate {run.cache_stats.hit_rate:.3f} "
+          f"({time.time() - t0:.1f}s)")
+    if fault_plan is not None:
+        print(f"  faults: {m.faults_injected} injected, "
+              f"{m.timeouts} timeouts, {m.retries} retries, "
+              f"{m.rdma_timeouts} rdma->am fallbacks, "
+              f"{m.pin_degrades} degraded handles")
+    return 0
+
+
 def fuzz_main(argv) -> int:
     from repro.testing import MATRICES, config_by_name, fuzz
 
@@ -119,6 +187,17 @@ def fuzz_main(argv) -> int:
     ap.add_argument("--trace-dir", default=None, metavar="DIR",
                     help="dump a flight-recorder JSONL log of each "
                          "shrunk failing program here (CI artifact)")
+    ap.add_argument("--faults", action="store_true",
+                    help="also replay every program under a "
+                         "deterministic fault plan; the reliability "
+                         "layer must still match the oracle")
+    ap.add_argument("--fault-profile", default="chaos", metavar="SPEC",
+                    help="fault plan for --faults: a profile name, "
+                         "inline JSON, or a JSON file path "
+                         "(default chaos)")
+    ap.add_argument("--fault-seed", type=int, default=None,
+                    help="base fault RNG seed (each program seed "
+                         "derives its own)")
     args = ap.parse_args(argv)
 
     if args.quick or args.matrix is None:
@@ -132,12 +211,23 @@ def fuzz_main(argv) -> int:
         except KeyError as exc:
             ap.error(str(exc))
 
+    fault_plan = None
+    if args.faults:
+        from repro.faults import resolve_profile
+        try:
+            fault_plan = resolve_profile(args.fault_profile,
+                                         fault_seed=args.fault_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
+
     t0 = time.time()
     report = fuzz(args.seed, n_ops=args.ops, nthreads=args.nthreads,
                   configs=configs, shrink_failures=not args.no_shrink,
-                  corpus_dir=args.corpus, trace_dir=args.trace_dir)
+                  corpus_dir=args.corpus, trace_dir=args.trace_dir,
+                  fault_plan=fault_plan)
     status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
-    print(f"fuzz: {report.programs_run} program(s), "
+    mode = " [faults]" if args.faults else ""
+    print(f"fuzz{mode}: {report.programs_run} program(s), "
           f"{report.ops_run} ops, {len(report.configs)} configs — "
           f"{status} ({time.time() - t0:.1f}s)")
     return 0 if report.ok else 1
@@ -151,16 +241,18 @@ def main(argv=None) -> int:
     if argv and argv[0] == "trace":
         from repro.obs.cli import trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from 'Scalable RDMA performance "
                     "in PGAS languages' (IPDPS 2009) on the simulator.")
     ap.add_argument("figure",
                     choices=sorted(_runners(True)) + ["all", "fuzz",
-                                                      "trace"],
+                                                      "trace", "run"],
                     help="which figure to regenerate ('fuzz' runs the "
                          "differential harness; 'trace' the flight "
-                         "recorder)")
+                         "recorder; 'run' one stressmark)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")
     args = ap.parse_args(argv)

@@ -206,6 +206,26 @@ class RemoteAddressCache:
                     handle=str(handle), count=n)
         return n
 
+    def invalidate_entry(self, handle: Hashable, node: int) -> bool:
+        """Targeted invalidation of one ``(handle, node)`` entry — the
+        RDMA-timeout degradation path drops exactly the suspect address
+        and nothing else, then lets the AM fallback's piggyback re-seed
+        it.  O(1) via the same swap-remove indices eviction uses.
+        Returns True if the entry was present."""
+        key = (handle, node)
+        if key not in self._table:
+            return False
+        del self._table[key]
+        self._index_discard(key)
+        self.stats.invalidations += 1
+        ev = self.events
+        if ev is not None and ev.enabled:
+            from repro.obs.events import CACHE_INVALIDATE
+            ev.emit(self.clock.now if self.clock else 0.0,
+                    CACHE_INVALIDATE, node=self.node_id,
+                    handle=str(handle), count=1, target=node)
+        return True
+
     def invalidate_all(self) -> int:
         """Drop everything (runtime teardown)."""
         n = len(self._table)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.memory.pinning import PinManager
+from repro.memory.pinning import PinLimitError, PinManager
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,8 @@ class PinnedAddressTable:
     """Registry of pinned shared-object memory on one node."""
 
     __slots__ = ("pins", "_by_vaddr", "_by_handle", "pin_time_us",
-                 "unpin_time_us", "events", "clock", "node_id")
+                 "unpin_time_us", "events", "clock", "node_id",
+                 "_unpinnable", "last_pin_error")
 
     def __init__(self, pin_manager: PinManager) -> None:
         self.pins = pin_manager
@@ -45,6 +46,12 @@ class PinnedAddressTable:
         self._by_handle: Dict[Hashable, List[PinnedEntry]] = {}
         self.pin_time_us = 0.0
         self.unpin_time_us = 0.0
+        #: Handles whose registration failed — served over AM forever;
+        #: the fast path stops retrying them (see docs/FAULTS.md).
+        self._unpinnable: set = set()
+        #: The exception behind the most recent ``register`` failure,
+        #: for callers that want to fail loudly instead of degrading.
+        self.last_pin_error: Optional[PinLimitError] = None
         #: Flight-recorder hookup, injected by the Runtime.
         self.events = None
         self.clock = None
@@ -61,14 +68,28 @@ class PinnedAddressTable:
 
     # -- registration ----------------------------------------------------
 
-    def register(self, handle: Hashable, vaddr: int, size: int) -> float:
-        """Pin ``[vaddr, vaddr+size)`` for ``handle``; return µs cost.
+    def register(self, handle: Hashable, vaddr: int,
+                 size: int) -> Tuple[float, bool]:
+        """Pin ``[vaddr, vaddr+size)`` for ``handle``; return
+        ``(cost_us, ok)``.
 
         Idempotent: re-registering a pinned range costs nothing —
         "once a shared object is pinned it remains pinned until it is
         freed" (section 3.1).
+
+        Registration can *fail*: NIC registration memory is finite
+        (``PinManager``'s total-bytes limit, or an injected fault
+        budget).  A failure returns ``(0.0, False)`` — the table is
+        left untouched — and records the underlying exception in
+        ``last_pin_error``; the caller decides between raising it
+        (strict mode, the pre-fault behavior) and degrading the handle
+        to the AM path via :meth:`mark_unpinnable`.
         """
-        cost, regions = self.pins.pin(vaddr, size)
+        try:
+            cost, regions = self.pins.pin(vaddr, size)
+        except PinLimitError as exc:
+            self.last_pin_error = exc
+            return 0.0, False
         fresh = 0
         for region in regions:
             if region.vaddr in self._by_vaddr:
@@ -85,7 +106,23 @@ class PinnedAddressTable:
             ev.emit(self.clock.now if self.clock else 0.0, PIN,
                     node=self.node_id, handle=str(handle), vaddr=vaddr,
                     size=size, regions=fresh, cost=cost)
-        return cost
+        return cost, True
+
+    # -- degradation -----------------------------------------------------
+
+    def mark_unpinnable(self, handle: Hashable) -> None:
+        """Permanently degrade ``handle`` on this node: registration
+        failed, so it is served over the AM path forever and the fast
+        path must stop retrying (one failed pin attempt, not one per
+        access)."""
+        self._unpinnable.add(handle)
+
+    def is_unpinnable(self, handle: Hashable) -> bool:
+        return handle in self._unpinnable
+
+    @property
+    def unpinnable_count(self) -> int:
+        return len(self._unpinnable)
 
     def lookup_phys(self, vaddr: int) -> Optional[int]:
         """Virtual → physical for RDMA descriptors; None if unpinned."""
@@ -103,6 +140,7 @@ class PinnedAddressTable:
         responsible for eagerly invalidating remote address caches.
         """
         entries = self._by_handle.pop(handle, [])
+        self._unpinnable.discard(handle)
         cost = 0.0
         for entry in entries:
             self._by_vaddr.pop(entry.vaddr, None)

@@ -1,0 +1,60 @@
+"""Deterministic fault injection and the reliability layer.
+
+The paper's protocols assume a lossless fabric (GM/Myrinet, LAPI/HPS)
+and unbounded registration memory.  This package relaxes both:
+
+* :mod:`repro.faults.plan` — a declarative, JSON-round-trippable
+  :class:`FaultPlan`: per-link drop/duplicate/delay rules with
+  probabilities and time windows, transient NIC stalls, target-handler
+  slowdowns, and injected pin-registration budgets;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that draws
+  every fault from a seeded RNG, so any failure is replayable from
+  ``(workload seed, fault seed)`` alone;
+* :mod:`repro.faults.reliability` — the knobs and data structures of
+  the recovery protocols: :class:`ReliabilityConfig` (timeouts, capped
+  exponential backoff), the :class:`DedupLedger` that makes retried AM
+  handlers idempotent, and :class:`ReliabilityError`;
+* :mod:`repro.faults.profiles` — named canned plans for CLI/chaos use.
+
+The recovery logic itself lives where the protocols live: sequence
+numbers, retries and dedup in :mod:`repro.network.transport`; RDMA
+completion timeouts with cache invalidation and AM fallback plus
+pin-failure degradation in :mod:`repro.runtime.ops`.
+
+With no plan installed (or an empty one) the runtime takes the exact
+pre-fault code paths: zero extra simulator events, bit-identical
+virtual time (``benchmarks/bench_fault_overhead.py`` holds the bar).
+"""
+
+from repro.faults.injector import NO_FAULT, Fate, FaultInjector
+from repro.faults.plan import (
+    ANY_NODE,
+    FaultPlan,
+    HandlerStall,
+    LinkFault,
+    NicStall,
+    PinBudget,
+)
+from repro.faults.profiles import PROFILES, resolve_profile
+from repro.faults.reliability import (
+    DedupLedger,
+    ReliabilityConfig,
+    ReliabilityError,
+)
+
+__all__ = [
+    "ANY_NODE",
+    "DedupLedger",
+    "Fate",
+    "FaultInjector",
+    "FaultPlan",
+    "HandlerStall",
+    "LinkFault",
+    "NicStall",
+    "NO_FAULT",
+    "PinBudget",
+    "PROFILES",
+    "ReliabilityConfig",
+    "ReliabilityError",
+    "resolve_profile",
+]

@@ -1,0 +1,226 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable description of
+*what can go wrong* in a run: per-link message perturbations, NIC
+stalls, handler slowdowns, and injected pin-registration budgets.  It
+carries its own seed; *when* each fault actually fires is decided by
+the :class:`~repro.faults.injector.FaultInjector` drawing from
+``seeded_rng(plan.seed, ...)``, so a plan plus a workload seed replays
+the exact same failure sequence — the property that lets a fuzz
+counterexample or a chaos-CI failure be attached to a bug report as a
+short JSON document.
+
+All times are virtual microseconds.  ``src``/``dst``/``node`` fields
+accept :data:`ANY_NODE` (``-1``) as a wildcard; ``t_end`` of ``inf``
+means "until the end of the run".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Tuple
+
+#: Wildcard for ``src``/``dst``/``node`` rule fields.
+ANY_NODE = -1
+
+#: Message perturbations a :class:`LinkFault` can inject.
+LINK_KINDS = ("drop", "duplicate", "delay")
+
+#: Protocol scopes a :class:`LinkFault` applies to.
+LINK_SCOPES = ("am", "rdma", "both")
+
+
+def _check_window(t_start: float, t_end: float) -> None:
+    if t_start < 0 or t_end < t_start:
+        raise ValueError(f"bad time window [{t_start}, {t_end})")
+
+
+def _check_prob(prob: float) -> None:
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"probability {prob} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Perturb messages crossing one (or any) link.
+
+    ``drop`` loses the message in the fabric (request and reply are
+    separate messages and are drawn independently); ``duplicate``
+    delivers the request a second time (the dedup ledger must absorb
+    it); ``delay`` adds ``delay_us`` of extra wire latency.  ``scope``
+    selects which protocol family the rule bites: AM request/reply
+    traffic, one-sided RDMA, or both.
+    """
+
+    kind: str
+    prob: float
+    src: int = ANY_NODE
+    dst: int = ANY_NODE
+    delay_us: float = 0.0
+    t_start: float = 0.0
+    t_end: float = math.inf
+    scope: str = "am"
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_KINDS:
+            raise ValueError(f"unknown link-fault kind {self.kind!r}; "
+                             f"expected one of {LINK_KINDS}")
+        if self.scope not in LINK_SCOPES:
+            raise ValueError(f"unknown link-fault scope {self.scope!r}; "
+                             f"expected one of {LINK_SCOPES}")
+        _check_prob(self.prob)
+        _check_window(self.t_start, self.t_end)
+        if self.kind == "delay" and self.delay_us <= 0.0:
+            raise ValueError("delay fault needs a positive delay_us")
+
+    def matches(self, src: int, dst: int, now: float) -> bool:
+        return ((self.src == ANY_NODE or self.src == src)
+                and (self.dst == ANY_NODE or self.dst == dst)
+                and self.t_start <= now < self.t_end)
+
+
+@dataclass(frozen=True)
+class NicStall:
+    """Transient NIC brown-out: every injection on ``node`` during the
+    window pays an extra ``stall_us`` before touching the wire (DMA
+    engine backpressure / firmware hiccup)."""
+
+    stall_us: float
+    node: int = ANY_NODE
+    prob: float = 1.0
+    t_start: float = 0.0
+    t_end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.stall_us <= 0.0:
+            raise ValueError("NIC stall needs a positive stall_us")
+        _check_prob(self.prob)
+        _check_window(self.t_start, self.t_end)
+
+    def matches(self, node: int, now: float) -> bool:
+        return ((self.node == ANY_NODE or self.node == node)
+                and self.t_start <= now < self.t_end)
+
+
+@dataclass(frozen=True)
+class HandlerStall:
+    """Slow or wedged target: AM handler dispatch on ``node`` pays an
+    extra ``stall_us`` during the window (CPU contention on the
+    polling core, interrupt storm on the LAPI dispatcher)."""
+
+    stall_us: float
+    node: int = ANY_NODE
+    prob: float = 1.0
+    t_start: float = 0.0
+    t_end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.stall_us <= 0.0:
+            raise ValueError("handler stall needs a positive stall_us")
+        _check_prob(self.prob)
+        _check_window(self.t_start, self.t_end)
+
+    def matches(self, node: int, now: float) -> bool:
+        return ((self.node == ANY_NODE or self.node == node)
+                and self.t_start <= now < self.t_end)
+
+
+@dataclass(frozen=True)
+class PinBudget:
+    """Injected registration-memory budget: once ``budget_bytes`` of
+    pin registrations have been granted on ``node``, further
+    ``PinnedAddressTable.register`` calls fail and the affected object
+    degrades to the AM path forever.  Tighter than any configured
+    ``pin_max_total_bytes``, this exercises exhaustion without needing
+    a workload large enough to blow the real limit."""
+
+    budget_bytes: int
+    node: int = ANY_NODE
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes < 0:
+            raise ValueError("pin budget must be >= 0")
+
+    def matches(self, node: int) -> bool:
+        return self.node == ANY_NODE or self.node == node
+
+
+#: rule-list field name -> element class, for JSON (de)serialisation.
+_RULE_FIELDS = {
+    "links": LinkFault,
+    "nic_stalls": NicStall,
+    "handler_stalls": HandlerStall,
+    "pin_budgets": PinBudget,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus rule lists.  Empty plan == lossless fabric: the
+    runtime installs no injector and takes the exact pre-fault paths.
+    """
+
+    seed: int = 0
+    links: Tuple[LinkFault, ...] = ()
+    nic_stalls: Tuple[NicStall, ...] = ()
+    handler_stalls: Tuple[HandlerStall, ...] = ()
+    pin_budgets: Tuple[PinBudget, ...] = ()
+    #: Free-form label (profile name) carried through JSON for reports.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from hand-built plans / JSON loading.
+        for fname in _RULE_FIELDS:
+            val = getattr(self, fname)
+            if not isinstance(val, tuple):
+                object.__setattr__(self, fname, tuple(val))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.links or self.nic_stalls
+                    or self.handler_stalls or self.pin_budgets)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Same rules, different draw sequence — how the fuzz runner
+        derives a per-program plan from one base plan."""
+        return replace(self, seed=seed)
+
+    # -- JSON round trip ------------------------------------------------
+    def to_json(self, indent: int | None = None) -> str:
+        doc = {"seed": self.seed, "name": self.name}
+        for fname in _RULE_FIELDS:
+            rules = getattr(self, fname)
+            if rules:
+                doc[fname] = [_rule_dict(r) for r in rules]
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("fault plan JSON must be an object")
+        known = {"seed", "name", *_RULE_FIELDS}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        kwargs = {"seed": int(doc.get("seed", 0)),
+                  "name": str(doc.get("name", ""))}
+        for fname, rule_cls in _RULE_FIELDS.items():
+            kwargs[fname] = tuple(rule_cls(**_coerce_inf(r))
+                                  for r in doc.get(fname, ()))
+        return cls(**kwargs)
+
+
+def _rule_dict(rule) -> dict:
+    # JSON has no inf literal; spell open-ended windows as "inf".
+    d = asdict(rule)
+    for k, v in list(d.items()):
+        if v == math.inf:
+            d[k] = "inf"
+    return d
+
+
+def _coerce_inf(d: dict) -> dict:
+    return {k: (math.inf if v == "inf" else v) for k, v in d.items()}

@@ -1,0 +1,80 @@
+"""Named fault profiles for the CLI, CI chaos job, and fuzz runner.
+
+A profile is just a :class:`FaultPlan` template under a stable name;
+``--fault-profile chaos --fault-seed 7`` reproduces the exact run
+anywhere.  ``resolve_profile`` also accepts inline JSON or a path to a
+plan file, so a failing plan attached to a bug report replays with the
+same flag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan, HandlerStall, LinkFault, \
+    NicStall, PinBudget
+
+#: Registry of canned plans (seed 0; override with ``--fault-seed``).
+PROFILES: Dict[str, FaultPlan] = {
+    # Lossy fabric: ~5% of messages vanish, AM and RDMA alike.
+    "drop": FaultPlan(
+        name="drop",
+        links=(LinkFault(kind="drop", prob=0.05, scope="both"),),
+    ),
+    # At-least-once fabric: ~5% of AM requests delivered twice.
+    "dup": FaultPlan(
+        name="dup",
+        links=(LinkFault(kind="duplicate", prob=0.05, scope="am"),),
+    ),
+    # Congested fabric: ~20% of messages pay 25 µs extra latency.
+    "delay": FaultPlan(
+        name="delay",
+        links=(LinkFault(kind="delay", prob=0.2, delay_us=25.0,
+                         scope="both"),),
+    ),
+    # Wedged targets: handler dispatch and NIC injections stall.
+    "stall": FaultPlan(
+        name="stall",
+        nic_stalls=(NicStall(stall_us=15.0, prob=0.1),),
+        handler_stalls=(HandlerStall(stall_us=30.0, prob=0.1),),
+    ),
+    # Registration memory runs out after 16 KiB of pins per node.
+    "pin": FaultPlan(
+        name="pin",
+        pin_budgets=(PinBudget(budget_bytes=16 * 1024),),
+    ),
+    # The acceptance profile: drop + duplicate + pin exhaustion —
+    # exercises every recovery path (retry/backoff, dedup ledger,
+    # RDMA→AM fallback, unpinnable degradation) at once.
+    "chaos": FaultPlan(
+        name="chaos",
+        links=(LinkFault(kind="drop", prob=0.04, scope="both"),
+               LinkFault(kind="duplicate", prob=0.04, scope="am")),
+        pin_budgets=(PinBudget(budget_bytes=16 * 1024),),
+    ),
+}
+
+
+def resolve_profile(spec: str,
+                    fault_seed: Optional[int] = None) -> FaultPlan:
+    """Turn a ``--fault-profile`` argument into a plan.
+
+    ``spec`` may be a registry name (``chaos``), inline JSON
+    (``'{"seed": 3, "links": [...]}'``), or a path to a JSON plan
+    file.  ``fault_seed`` overrides the plan's seed when given.
+    """
+    if spec in PROFILES:
+        plan = PROFILES[spec]
+    elif spec.lstrip().startswith("{"):
+        plan = FaultPlan.from_json(spec)
+    elif os.path.exists(spec):
+        with open(spec, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        names = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown fault profile {spec!r} "
+                         f"(not a name [{names}], inline JSON, or file)")
+    if fault_seed is not None:
+        plan = plan.with_seed(fault_seed)
+    return plan

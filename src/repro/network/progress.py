@@ -42,6 +42,16 @@ class ProgressEngine:
         #: Flight recorder (injected by the Runtime; may stay None for
         #: bare-cluster uses).
         self.events = None
+        #: Fault injector (installed by the Runtime alongside the
+        #: transport's); models slow/wedged targets as extra dispatch
+        #: latency.  None == healthy node, zero extra yields.
+        self.faults = None
+
+    def _stall(self, op_id: int):
+        """Injected target-handler slowdown, charged before dispatch."""
+        extra = self.faults.handler_stall(self.node.id, op_id=op_id)
+        if extra > 0.0:
+            yield self.sim.timeout(extra)
 
     # -- thread-side hooks (only meaningful for polling) ----------------
 
@@ -131,6 +141,8 @@ class PollingProgress(ProgressEngine):
             ev = Event(self.sim, name=f"await-poll[{self.node.id}]")
             self._waiters.append(ev)
             yield ev
+        if self.faults is not None:
+            yield from self._stall(op_id)
         yield self.sim.timeout(self.params.dispatch_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0
@@ -146,6 +158,8 @@ class InterruptProgress(ProgressEngine):
         if log is not None and log.enabled:
             from repro.obs.events import QUEUE_ENTER
             log.emit(t0, QUEUE_ENTER, op=op_id, node=self.node.id)
+        if self.faults is not None:
+            yield from self._stall(op_id)
         yield self.sim.timeout(self.params.interrupt_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0

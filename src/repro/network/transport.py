@@ -28,6 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults.injector import NO_FAULT, Fate
+from repro.faults.reliability import (
+    DedupLedger,
+    ReliabilityConfig,
+    ReliabilityError,
+)
 from repro.network import message as wire
 from repro.network.message import MessageLog, WireMessage
 from repro.network.node import Node
@@ -48,6 +54,8 @@ from repro.obs.events import (
     PHASE,
     RDMA_COMPLETE,
     RDMA_ISSUE,
+    RETRY,
+    TIMEOUT,
 )
 from repro.sim.event import Event
 from repro.sim.resource import Resource
@@ -111,10 +119,29 @@ class Transport:
         #: Flight recorder (injected by the Runtime); None on bare
         #: clusters.  Every emit site guards on ``enabled``.
         self.events = None
+        #: Fault injector (installed by the Runtime when a non-empty
+        #: FaultPlan is configured).  None == lossless fabric: every
+        #: protocol takes the exact pre-fault code path.
+        self.faults = None
+        #: Reliability knobs; replaced wholesale by the Runtime when
+        #: configured.  Only consulted on fault paths.
+        self.reliability = ReliabilityConfig()
+        #: Target-side dedup ledger for replayed AM requests.
+        self.ledger = DedupLedger(self.reliability.ledger_capacity)
+        #: Runtime metrics block (injected); None on bare clusters.
+        self.metrics = None
+        self._next_seq = 0
         #: Per-destination receive-buffer credit pools, lazily built.
         self._credits: Dict[int, Resource] = {}
         for node in nodes:
             node.progress = make_progress(sim, node, params)
+
+    def _seq(self, src: Node) -> Tuple[int, int]:
+        """Allocate the dedup key for one logical AM request: the
+        ``(initiator node, sequence number)`` pair every attempt of
+        the request carries."""
+        self._next_seq += 1
+        return (src.id, self._next_seq)
 
     # -- observability / flow control ------------------------------------
 
@@ -155,6 +182,61 @@ class Transport:
             self._credits[dst.id] = pool
         return pool
 
+    # -- reliability building blocks --------------------------------------
+
+    def _await_timeout(self, t0: float, timeout_us: float, op_id: int,
+                       src: Node, dst: Node, proto: str):
+        """The initiator's retransmit (or RDMA completion) timer: wait
+        out the remainder of the window opened at ``t0``, then record
+        the expiry."""
+        rest = timeout_us - (self.sim.now - t0)
+        if rest > 0:
+            yield self.sim.timeout(rest)
+        self.counters.bump(f"{proto}-timeout")
+        if self.metrics is not None:
+            self.metrics.timeouts += 1
+        ev = self.events
+        if ev is not None and ev.enabled:
+            ev.emit(self.sim.now, TIMEOUT, op=op_id, node=src.id,
+                    dst=dst.id, proto=proto, timeout_us=timeout_us)
+
+    def _backoff(self, attempt: int, op_id: int, src: Node, dst: Node,
+                 what: str):
+        """Capped exponential backoff before retransmission number
+        ``attempt`` (1-based); raises :class:`ReliabilityError` once
+        the retry budget is spent."""
+        r = self.reliability
+        if attempt > r.max_retries:
+            raise ReliabilityError(
+                f"{what} {src.id}->{dst.id} gave up after "
+                f"{r.max_retries} retries (op {op_id})")
+        delay = r.backoff_us(attempt - 1)
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        self.counters.bump("am-retry")
+        if self.metrics is not None:
+            self.metrics.retries += 1
+        ev = self.events
+        if ev is not None and ev.enabled:
+            ev.emit(self.sim.now, RETRY, op=op_id, node=src.id,
+                    dst=dst.id, attempt=attempt, backoff_us=delay,
+                    what=what)
+
+    def _spawn_duplicate(self, src: Node, dst: Node, copy_bytes: int,
+                         op_id: int, key: Optional[Tuple[int, int]]):
+        """An injected duplicate of an already-delivered request: it
+        crosses the wire again and the dedup ledger absorbs it on the
+        target (handler-CPU replay cost, no side effects, no reply)."""
+        self.counters.bump("am-duplicate-delivery")
+
+        def _again():
+            yield from self._wire(src, dst)
+            yield from self._run_handler(dst, None,
+                                         handler_copy_bytes=copy_bytes,
+                                         op_id=op_id, key=key)
+
+        self.sim.process(_again(), name="dup-delivery")
+
     # -- building blocks -------------------------------------------------
 
     def _inject(self, node: Node, nbytes: int, fragmented: bool):
@@ -163,6 +245,10 @@ class Transport:
         frags = p.fragments(nbytes) if fragmented else 1
         yield node.nic.acquire()
         try:
+            if self.faults is not None:
+                stall = self.faults.nic_stall(node.id)
+                if stall > 0.0:
+                    yield self.sim.timeout(stall)
             yield self.sim.timeout(frags * p.nic_gap_us + p.wire_time(nbytes))
         finally:
             node.nic.release()
@@ -176,7 +262,8 @@ class Transport:
     def _run_handler(self, dst: Node, handler: Optional[Handler],
                      handler_copy_bytes: int = 0,
                      reply_bytes: int = 0, reply_fragmented: bool = True,
-                     reply_to: Optional[Node] = None, op_id: int = -1):
+                     reply_to: Optional[Node] = None, op_id: int = -1,
+                     key: Optional[Tuple[int, int]] = None):
         """Wait for service, then execute the header handler on the
         target CPU.
 
@@ -189,6 +276,13 @@ class Transport:
 
         Returns the handler's reply payload and the extra bytes it
         appended to the reply.
+
+        ``key`` is the request's dedup identity (reliability layer):
+        the first delivery records the handler's reply in the ledger;
+        a replayed delivery — retransmission after a lost reply, or an
+        injected duplicate — answers from the ledger without re-running
+        the handler, so pins, SVD charges and piggybacks never
+        double-apply.
         """
         p = self.params
         assert dst.progress is not None
@@ -215,11 +309,20 @@ class Transport:
             cost = p.handler_cpu_us
             payload: Any = None
             extra_bytes = 0
-            if handler is not None:
+            led = self.ledger.get(key) if key is not None else None
+            if led is not None:
+                # Replay of a request served once already: answer from
+                # the ledger (copy cost to rematerialize the reply, no
+                # handler re-run, no double pin).
+                payload, extra_bytes = led
+                self.counters.bump("am-replay")
+            elif handler is not None:
                 h_cost, payload, extra_bytes = handler(dst)
                 cost += h_cost
             if handler_copy_bytes:
                 cost += p.copy_time(handler_copy_bytes)
+            if led is None and key is not None and handler is not None:
+                self.ledger.record(key, payload, extra_bytes)
             t_h = self.sim.now
             if rec:
                 self.events.emit(t_h, HANDLER_BEGIN, op=op_id,
@@ -276,20 +379,56 @@ class Transport:
         p = self.params
         self.counters.am_requests += 1
         self.counters.bytes_am += nbytes + 2 * p.ctrl_bytes
-        if nbytes <= p.eager_max_bytes:
-            payload = yield from self._eager_get(src, dst, nbytes,
-                                                 handler, op_id)
+        src_addr = src_addr if src_addr is not None else src.memory.base
+        dst_addr = dst_addr if dst_addr is not None else dst.memory.base
+        if self.faults is None:
+            if nbytes <= p.eager_max_bytes:
+                _, payload = yield from self._eager_get(src, dst, nbytes,
+                                                        handler, op_id)
+            else:
+                _, payload = yield from self._rendezvous_get(
+                    src, dst, nbytes, handler, src_addr, dst_addr, op_id)
         else:
-            payload = yield from self._rendezvous_get(
-                src, dst, nbytes, handler,
-                src_addr if src_addr is not None else src.memory.base,
-                dst_addr if dst_addr is not None else dst.memory.base,
-                op_id)
+            payload = yield from self._reliable_get(
+                src, dst, nbytes, handler, src_addr, dst_addr, op_id)
         self.counters.am_replies += 1
         return AMReply(payload=payload, completed_at=self.sim.now)
 
+    def _reliable_get(self, src: Node, dst: Node, nbytes: int,
+                      handler: Optional[Handler], src_addr: int,
+                      dst_addr: int, op_id: int):
+        """Sequence-numbered GET with retransmission: draw a fate per
+        attempt; a lost leg burns the retransmit window, then the
+        request is retried after capped exponential backoff.  The
+        dedup key makes retried target handlers idempotent."""
+        p = self.params
+        r = self.reliability
+        key = self._seq(src)
+        attempt = 0
+        while True:
+            t0 = self.sim.now
+            fate = self.faults.am_fate(src.id, dst.id, op_id=op_id)
+            if nbytes <= p.eager_max_bytes:
+                ok, payload = yield from self._eager_get(
+                    src, dst, nbytes, handler, op_id, fate=fate, key=key)
+            else:
+                ok, payload = yield from self._rendezvous_get(
+                    src, dst, nbytes, handler, src_addr, dst_addr,
+                    op_id, fate=fate, key=key)
+            if ok:
+                return payload
+            yield from self._await_timeout(t0, r.am_timeout_us, op_id,
+                                           src, dst, "am")
+            attempt += 1
+            yield from self._backoff(attempt, op_id, src, dst, "am get")
+
     def _eager_get(self, src: Node, dst: Node, nbytes: int,
-                   handler: Optional[Handler], op_id: int = -1):
+                   handler: Optional[Handler], op_id: int = -1,
+                   fate: Fate = NO_FAULT,
+                   key: Optional[Tuple[int, int]] = None):
+        """One eager-GET attempt.  Returns ``(ok, payload)``; ``ok`` is
+        False when ``fate`` lost a leg (the caller owns the retransmit
+        timer)."""
         p = self.params
         rec = self._recording()
         self.counters.eager_transfers += 1
@@ -301,7 +440,11 @@ class Transport:
             self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
                              dst=dst.id, nbytes=p.ctrl_bytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
-        yield from self._wire(src, dst)
+        if fate.drop_request:
+            # Lost in the fabric after leaving the NIC; the target
+            # never sees it.
+            return False, None
+        yield from self._wire(src, dst, extra=fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t0)
         # Target: handler + bounce copy + reply injection, all on the
@@ -309,12 +452,19 @@ class Transport:
         payload, extra = yield from self._run_handler(
             dst, handler, handler_copy_bytes=nbytes,
             reply_bytes=nbytes + p.ctrl_bytes, reply_fragmented=True,
-            reply_to=src, op_id=op_id)
+            reply_to=src, op_id=op_id, key=key)
+        if fate.duplicate:
+            self._spawn_duplicate(src, dst, nbytes, op_id, key)
         # Logged post-injection so timestamp and piggyback bytes are
         # the ones actually on the wire.
         self._record(wire.AM_REPLY, dst, src, nbytes + p.ctrl_bytes + extra)
+        if fate.drop_reply:
+            # The reply vanished; the initiator's receive path never
+            # runs, so return its receive-buffer credit here.
+            self._credit_pool(src).release()
+            return False, None
         t1 = self.sim.now
-        yield from self._wire(dst, src)
+        yield from self._wire(dst, src, extra=fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t1)
             self.events.emit(self.sim.now, AM_REPLY_RECV, op=op_id,
@@ -323,11 +473,17 @@ class Transport:
         # return the receive-buffer credit to the pool.
         yield self.sim.timeout(p.o_recv_us + p.copy_time(nbytes))
         self._credit_pool(src).release()
-        return payload
+        return True, payload
 
     def _rendezvous_get(self, src: Node, dst: Node, nbytes: int,
                         handler: Optional[Handler],
-                        src_addr: int, dst_addr: int, op_id: int = -1):
+                        src_addr: int, dst_addr: int, op_id: int = -1,
+                        fate: Fate = NO_FAULT,
+                        key: Optional[Tuple[int, int]] = None):
+        """One rendezvous-GET attempt; ``(ok, payload)`` like
+        :meth:`_eager_get`.  On retries the source-side registration
+        re-check hits the pin-down cache (cost 0) and the target block
+        replays from the dedup ledger."""
         p = self.params
         rec = self._recording()
         self.counters.rendezvous_transfers += 1
@@ -342,7 +498,9 @@ class Transport:
             self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
                              dst=dst.id, nbytes=p.ctrl_bytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
-        yield from self._wire(src, dst)
+        if fate.drop_request:
+            return False, None
+        yield from self._wire(src, dst, extra=fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t0)
         # Target: handler, registration of the served region and the
@@ -356,13 +514,23 @@ class Transport:
             self.events.emit(self.sim.now, AM_RECV, op=op_id,
                              node=dst.id)
         try:
-            cost = p.handler_cpu_us + p.rendezvous_cpu_us
             payload: Any = None
             extra = 0
-            if handler is not None:
-                h_cost, payload, extra = handler(dst)
-                cost += h_cost
-            cost += dst.reg_cache.register(dst_addr, nbytes)
+            led = self.ledger.get(key) if key is not None else None
+            if led is not None:
+                # Replay: the translation/registration happened on the
+                # first delivery; only re-dispatch and re-send.
+                payload, extra = led
+                cost = p.handler_cpu_us
+                self.counters.bump("am-replay")
+            else:
+                cost = p.handler_cpu_us + p.rendezvous_cpu_us
+                if handler is not None:
+                    h_cost, payload, extra = handler(dst)
+                    cost += h_cost
+                cost += dst.reg_cache.register(dst_addr, nbytes)
+                if key is not None and handler is not None:
+                    self.ledger.record(key, payload, extra)
             t_r = self.sim.now
             if rec:
                 # The handler-CPU slice is the known `cost` share of
@@ -390,15 +558,21 @@ class Transport:
                                  piggyback=bool(extra))
         finally:
             dst.handler_cpu.release()
+        if fate.duplicate:
+            self._spawn_duplicate(src, dst, 0, op_id, key)
+        if fate.drop_reply:
+            # The data message vanished (the target paid for sending
+            # it); the initiator's retransmit timer will fire.
+            return False, None
         t1 = self.sim.now
-        yield from self._wire(dst, src)
+        yield from self._wire(dst, src, extra=fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t1)
             self.events.emit(self.sim.now, AM_REPLY_RECV, op=op_id,
                              node=src.id, piggyback=extra > 0)
         # Initiator completion (no copies: the NIC delivered in place).
         yield self.sim.timeout(p.o_recv_us)
-        return payload
+        return True, payload
 
     def default_put(self, src: Node, dst: Node, nbytes: int,
                     handler: Optional[Handler] = None,
@@ -419,6 +593,7 @@ class Transport:
             src_addr = src.memory.base
         if dst_addr is None:
             dst_addr = dst.memory.base
+        key = self._seq(src) if self.faults is not None else None
         if nbytes <= p.eager_max_bytes:
             self.counters.eager_transfers += 1
             # Local side: software overhead, bounce copy, a receive
@@ -439,7 +614,7 @@ class Transport:
             self.sim.process(
                 self._put_tail(src, dst, nbytes, handler, remote_applied,
                                copy_at_target=True, credit=True,
-                               op_id=op_id),
+                               op_id=op_id, key=key),
                 name="put-tail",
             )
         else:
@@ -449,82 +624,144 @@ class Transport:
             reg_cost = src.reg_cache.register(src_addr, nbytes)
             if reg_cost:
                 yield self.sim.timeout(reg_cost)
-            self._record(wire.RTS, src, dst, p.ctrl_bytes)
-            t0 = self.sim.now
-            if rec:
-                self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
-                                 dst=dst.id, nbytes=p.ctrl_bytes)
-            yield from self._inject(src, p.ctrl_bytes, fragmented=False)
-            yield from self._wire(src, dst)
-            if rec:
-                self._phase(op_id, COMP_WIRE, t0)
-            # Target-side work (handler + registration + CTS send) is
-            # all CPU work there — serialized on the handler CPU,
-            # symmetric with the rendezvous GET path.
-            assert dst.progress is not None
-            yield from dst.progress.service(op_id)
-            t_acq = self.sim.now
-            yield dst.handler_cpu.acquire()
-            if rec:
-                self._phase(op_id, COMP_QUEUE, t_acq)
-                self.events.emit(self.sim.now, AM_RECV, op=op_id,
-                                 node=dst.id)
-            try:
-                cost = p.handler_cpu_us
-                if handler is not None:
-                    h_cost, _, _ = handler(dst)
-                    cost += h_cost
-                cost += dst.reg_cache.register(dst_addr, nbytes)
-                t_r = self.sim.now
-                if rec:
-                    self.events.emit(t_r, HANDLER_BEGIN, op=op_id,
-                                     node=dst.id)
-                    self.events.emit(t_r + cost, HANDLER_END, op=op_id,
-                                     node=dst.id, cost=cost)
-                    self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
-                yield self.sim.timeout(cost + p.o_send_us)
-                self._record(wire.CTS, dst, src, p.ctrl_bytes)
-                yield from self._inject(dst, p.ctrl_bytes, fragmented=False)
-                if rec:
-                    self._phase(op_id, COMP_WIRE, t_r,
-                                dur=self.sim.now - t_r - cost)
-            finally:
-                dst.handler_cpu.release()
-            t1 = self.sim.now
-            yield from self._wire(dst, src)
-            if rec:
-                self._phase(op_id, COMP_WIRE, t1)
-            yield self.sim.timeout(p.o_recv_us)
+            if self.faults is None:
+                yield from self._rdv_put_handshake(src, dst, nbytes,
+                                                   handler, dst_addr,
+                                                   op_id)
+            else:
+                r = self.reliability
+                attempt = 0
+                while True:
+                    t0 = self.sim.now
+                    fate = self.faults.am_fate(src.id, dst.id,
+                                               op_id=op_id)
+                    ok = yield from self._rdv_put_handshake(
+                        src, dst, nbytes, handler, dst_addr, op_id,
+                        fate=fate, key=key)
+                    if ok:
+                        break
+                    yield from self._await_timeout(t0, r.am_timeout_us,
+                                                   op_id, src, dst, "am")
+                    attempt += 1
+                    yield from self._backoff(attempt, op_id, src, dst,
+                                             "rendezvous put")
             # Zero-copy data injection; local completion at hand-off.
             self._record(wire.RDV_DATA, src, dst, nbytes)
             t2 = self.sim.now
             yield from self._inject(src, nbytes, fragmented=False)
             if rec:
                 self._phase(op_id, COMP_WIRE, t2)
+            data_key = self._seq(src) if self.faults is not None else None
             self.sim.process(
                 self._put_tail(src, dst, nbytes, None, remote_applied,
-                               copy_at_target=False, op_id=op_id),
+                               copy_at_target=False, op_id=op_id,
+                               key=data_key),
                 name="put-tail",
             )
         return PutTicket(remote_applied=remote_applied, nbytes=nbytes)
 
+    def _rdv_put_handshake(self, src: Node, dst: Node, nbytes: int,
+                           handler: Optional[Handler], dst_addr: int,
+                           op_id: int = -1, fate: Fate = NO_FAULT,
+                           key: Optional[Tuple[int, int]] = None):
+        """One RTS→CTS attempt of a rendezvous PUT.  Returns True when
+        the CTS landed; False when ``fate`` lost a leg (the caller owns
+        the retransmit timer)."""
+        p = self.params
+        rec = self._recording()
+        self._record(wire.RTS, src, dst, p.ctrl_bytes)
+        t0 = self.sim.now
+        if rec:
+            self.events.emit(t0, AM_SEND, op=op_id, node=src.id,
+                             dst=dst.id, nbytes=p.ctrl_bytes)
+        yield from self._inject(src, p.ctrl_bytes, fragmented=False)
+        if fate.drop_request:
+            return False
+        yield from self._wire(src, dst, extra=fate.delay_us)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t0)
+        # Target-side work (handler + registration + CTS send) is
+        # all CPU work there — serialized on the handler CPU,
+        # symmetric with the rendezvous GET path.
+        assert dst.progress is not None
+        yield from dst.progress.service(op_id)
+        t_acq = self.sim.now
+        yield dst.handler_cpu.acquire()
+        if rec:
+            self._phase(op_id, COMP_QUEUE, t_acq)
+            self.events.emit(self.sim.now, AM_RECV, op=op_id,
+                             node=dst.id)
+        try:
+            led = self.ledger.get(key) if key is not None else None
+            if led is not None:
+                # Replay: translation/registration already happened.
+                cost = p.handler_cpu_us
+                self.counters.bump("am-replay")
+            else:
+                cost = p.handler_cpu_us
+                if handler is not None:
+                    h_cost, _, _ = handler(dst)
+                    cost += h_cost
+                cost += dst.reg_cache.register(dst_addr, nbytes)
+                if key is not None and handler is not None:
+                    self.ledger.record(key, None, 0)
+            t_r = self.sim.now
+            if rec:
+                self.events.emit(t_r, HANDLER_BEGIN, op=op_id,
+                                 node=dst.id)
+                self.events.emit(t_r + cost, HANDLER_END, op=op_id,
+                                 node=dst.id, cost=cost)
+                self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
+            yield self.sim.timeout(cost + p.o_send_us)
+            self._record(wire.CTS, dst, src, p.ctrl_bytes)
+            yield from self._inject(dst, p.ctrl_bytes, fragmented=False)
+            if rec:
+                self._phase(op_id, COMP_WIRE, t_r,
+                            dur=self.sim.now - t_r - cost)
+        finally:
+            dst.handler_cpu.release()
+        if fate.duplicate:
+            self._spawn_duplicate(src, dst, 0, op_id, key)
+        if fate.drop_reply:
+            return False
+        t1 = self.sim.now
+        yield from self._wire(dst, src, extra=fate.delay_us)
+        if rec:
+            self._phase(op_id, COMP_WIRE, t1)
+        yield self.sim.timeout(p.o_recv_us)
+        return True
+
     def _put_tail(self, src: Node, dst: Node, nbytes: int,
                   handler: Optional[Handler], remote_applied: Event,
                   copy_at_target: bool, credit: bool = False,
-                  op_id: int = -1):
+                  op_id: int = -1,
+                  key: Optional[Tuple[int, int]] = None):
         """Target-side continuation of a PUT (runs as its own process).
 
         Credit return and completion signalling are exception-safe: a
         crashing handler must not leak the receive buffer nor leave
-        the initiator's fence waiting forever.
+        the initiator's fence waiting forever.  Under faults the tail
+        also models the initiator's retransmit timer for the data
+        message; if the retry budget runs out, ``remote_applied`` is
+        *failed* so the loss surfaces at the next fence instead of
+        silently dropping the store.
         """
+        failure: Optional[BaseException] = None
         try:
-            yield from self._wire(src, dst)
-            if handler is not None or copy_at_target:
-                yield from self._run_handler(
-                    dst, handler,
-                    handler_copy_bytes=nbytes if copy_at_target else 0,
-                    op_id=op_id)
+            if self.faults is None:
+                yield from self._wire(src, dst)
+                if handler is not None or copy_at_target:
+                    yield from self._run_handler(
+                        dst, handler,
+                        handler_copy_bytes=nbytes if copy_at_target else 0,
+                        op_id=op_id)
+            else:
+                yield from self._reliable_put_tail(
+                    src, dst, nbytes, handler, copy_at_target, op_id, key)
+        except ReliabilityError as exc:
+            self.counters.bump("put-tail-error")
+            failure = exc
+            raise
         except BaseException:
             # Detached process: make the failure visible in counters
             # before it lands in the (unobserved) process event.
@@ -534,7 +771,48 @@ class Transport:
             if credit:
                 # The target consumed the eager buffer either way.
                 self._credit_pool(dst).release()
-            remote_applied.succeed(self.sim.now)
+            if failure is not None:
+                remote_applied.fail(failure)
+            else:
+                remote_applied.succeed(self.sim.now)
+
+    def _reliable_put_tail(self, src: Node, dst: Node, nbytes: int,
+                           handler: Optional[Handler],
+                           copy_at_target: bool, op_id: int,
+                           key: Optional[Tuple[int, int]]):
+        """Retransmission loop for the detached data leg of a PUT: the
+        tail process models both the delivery and the initiator's
+        retransmit timer, so a dropped data message is retried until
+        it lands (the dedup ledger absorbs duplicates on the target)
+        and a fence can never wait on a message nobody will resend."""
+        r = self.reliability
+        p = self.params
+        attempt = 0
+        while True:
+            t0 = self.sim.now
+            fate = self.faults.am_fate(src.id, dst.id, op_id=op_id)
+            if not (fate.drop_request or fate.drop_reply):
+                yield from self._wire(src, dst, extra=fate.delay_us)
+                if handler is not None or copy_at_target:
+                    yield from self._run_handler(
+                        dst, handler,
+                        handler_copy_bytes=nbytes if copy_at_target else 0,
+                        op_id=op_id, key=key)
+                if fate.duplicate:
+                    self._spawn_duplicate(
+                        src, dst, nbytes if copy_at_target else 0,
+                        op_id, key)
+                return
+            # The data message was lost (a one-way message: either
+            # drop leg kills it); wait out the retransmit window, back
+            # off, and serialize it through the initiator's NIC again.
+            yield from self._await_timeout(t0, r.am_timeout_us, op_id,
+                                           src, dst, "am")
+            attempt += 1
+            yield from self._backoff(attempt, op_id, src, dst,
+                                     "put data")
+            yield from self._inject(src, nbytes + p.ctrl_bytes,
+                                    fragmented=True)
 
     def am_oneway(self, src: Node, dst: Node, nbytes: int,
                   handler: Optional[Handler] = None) -> Event:
@@ -551,10 +829,14 @@ class Transport:
             yield self.sim.timeout(self.params.o_send_us)
             yield self._credit_pool(dst).acquire()
             try:
-                self._record(wire.ONEWAY, src, dst, nbytes)
-                yield from self._inject(src, nbytes, fragmented=True)
-                yield from self._wire(src, dst)
-                yield from self._run_handler(dst, handler)
+                if self.faults is None:
+                    self._record(wire.ONEWAY, src, dst, nbytes)
+                    yield from self._inject(src, nbytes, fragmented=True)
+                    yield from self._wire(src, dst)
+                    yield from self._run_handler(dst, handler)
+                else:
+                    yield from self._reliable_oneway(src, dst, nbytes,
+                                                     handler)
             finally:
                 self._credit_pool(dst).release()
                 done.succeed(self.sim.now)
@@ -562,16 +844,48 @@ class Transport:
         self.sim.process(_fly(), name="am-oneway")
         return done
 
+    def _reliable_oneway(self, src: Node, dst: Node, nbytes: int,
+                         handler: Optional[Handler]):
+        """Retransmission loop for fire-and-forget control messages —
+        an SVD update notification must eventually land or the run
+        must fail loudly."""
+        r = self.reliability
+        key = self._seq(src)
+        attempt = 0
+        while True:
+            t0 = self.sim.now
+            fate = self.faults.am_fate(src.id, dst.id)
+            self._record(wire.ONEWAY, src, dst, nbytes)
+            yield from self._inject(src, nbytes, fragmented=True)
+            if not (fate.drop_request or fate.drop_reply):
+                yield from self._wire(src, dst, extra=fate.delay_us)
+                yield from self._run_handler(dst, handler, key=key)
+                if fate.duplicate:
+                    self._spawn_duplicate(src, dst, 0, -1, key)
+                return
+            yield from self._await_timeout(t0, r.am_timeout_us, -1,
+                                           src, dst, "am")
+            attempt += 1
+            yield from self._backoff(attempt, -1, src, dst, "am oneway")
+
     # -- RDMA protocols ----------------------------------------------------
 
     def rdma_get(self, src: Node, dst: Node, nbytes: int,
                  op_id: int = -1):
         """Figure 3b: one-sided read.  No target CPU involvement — the
-        response is served by the target NIC's DMA engine."""
+        response is served by the target NIC's DMA engine.
+
+        Returns True on completion; False when the fault plane lost
+        the op and the completion timer expired (the caller — the op
+        engine — invalidates the cached address and degrades to the
+        AM path)."""
         p = self.params
         rec = self._recording()
         self.counters.rdma_gets += 1
         self.counters.bytes_rdma += nbytes
+        fate = (self.faults.rdma_fate(src.id, dst.id, op_id=op_id)
+                if self.faults is not None else NO_FAULT)
+        t_start = self.sim.now
         yield self.sim.timeout(p.rdma_init_us)
         self._record(wire.RDMA_READ, src, dst, p.ctrl_bytes)
         t0 = self.sim.now
@@ -579,7 +893,15 @@ class Transport:
             self.events.emit(t0, RDMA_ISSUE, op=op_id, node=src.id,
                              dst=dst.id, nbytes=nbytes)
         yield from self._inject(src, p.ctrl_bytes, fragmented=False)
-        yield from self._wire(src, dst, extra=p.rdma_get_premium_us)
+        if fate.drop_request:
+            # The read (or its response) vanished; no completion will
+            # ever arrive — burn the completion window and report.
+            yield from self._await_timeout(
+                t_start, self.reliability.rdma_timeout_us, op_id,
+                src, dst, "rdma")
+            return False
+        yield from self._wire(src, dst,
+                              extra=p.rdma_get_premium_us + fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t0)
         # Target NIC serializes the response (DMA, no CPU, no credits
@@ -602,17 +924,26 @@ class Transport:
         if rec:
             self.events.emit(self.sim.now, RDMA_COMPLETE, op=op_id,
                              node=src.id, nbytes=nbytes)
+        return True
 
     def rdma_put(self, src: Node, dst: Node, nbytes: int,
                  op_id: int = -1):
         """Figure 3b mirrored.  On GM local completion happens at
         injection; on HPS/LAPI the initiator waits for the fabric-level
         acknowledgement (``rdma_put_waits_remote``) — the mechanism
-        behind Figure 6's PUT regression."""
+        behind Figure 6's PUT regression.
+
+        Returns the :class:`PutTicket`, or None when the fault plane
+        lost the write and the completion timer expired (the caller
+        invalidates the cached address and degrades to the AM path,
+        which re-issues the store)."""
         p = self.params
         rec = self._recording()
         self.counters.rdma_puts += 1
         self.counters.bytes_rdma += nbytes
+        fate = (self.faults.rdma_fate(src.id, dst.id, op_id=op_id)
+                if self.faults is not None else NO_FAULT)
+        t_start = self.sim.now
         remote_applied = Event(self.sim, name="rdma-put-applied")
         yield self.sim.timeout(p.rdma_init_us)
         self._record(wire.RDMA_WRITE, src, dst, nbytes + p.ctrl_bytes)
@@ -623,9 +954,16 @@ class Transport:
         yield from self._inject(src, nbytes + p.ctrl_bytes, fragmented=False)
         if rec:
             self._phase(op_id, COMP_WIRE, t0)
+        if fate.drop_request:
+            yield from self._await_timeout(
+                t_start, self.reliability.rdma_timeout_us, op_id,
+                src, dst, "rdma")
+            return None
         if p.rdma_put_waits_remote:
             t1 = self.sim.now
-            yield from self._wire(src, dst, extra=p.rdma_put_premium_us)
+            yield from self._wire(src, dst,
+                                  extra=p.rdma_put_premium_us
+                                  + fate.delay_us)
             remote_applied.succeed(self.sim.now)
             yield from self._wire(dst, src)  # hardware ack
             if rec:
@@ -635,7 +973,9 @@ class Transport:
             yield self.sim.timeout(p.rdma_completion_us)
 
             def _tail():
-                yield from self._wire(src, dst, extra=p.rdma_put_premium_us)
+                yield from self._wire(src, dst,
+                                      extra=p.rdma_put_premium_us
+                                      + fate.delay_us)
                 remote_applied.succeed(self.sim.now)
 
             self.sim.process(_tail(), name="rdma-put-tail")

@@ -42,7 +42,9 @@ from repro.obs.events import (
     COMP_WIRE,
     COMPONENTS,
     COUNTER,
+    DEGRADE,
     EventLog,
+    FAULT_INJECT,
     HANDLER_BEGIN,
     HANDLER_END,
     OP_BEGIN,
@@ -53,6 +55,8 @@ from repro.obs.events import (
     QUEUE_LEAVE,
     RDMA_COMPLETE,
     RDMA_ISSUE,
+    RETRY,
+    TIMEOUT,
     TraceEvent,
     UNPIN,
 )
@@ -112,4 +116,8 @@ __all__ = [
     "BULK_ISSUE",
     "BULK_DRAIN",
     "COUNTER",
+    "FAULT_INJECT",
+    "TIMEOUT",
+    "RETRY",
+    "DEGRADE",
 ]

@@ -36,7 +36,8 @@ FORMATS = ("chrome", "jsonl", "csv")
 
 
 def _workload(name: str, quick: bool, machine: str, nthreads: int,
-              seed: int, events: EventLog, tracer) -> Callable:
+              seed: int, events: EventLog, tracer,
+              fault_plan=None) -> Callable:
     """Build a zero-argument runner for one DIS stressmark."""
     from repro.workloads import (
         CornerTurnParams,
@@ -54,7 +55,7 @@ def _workload(name: str, quick: bool, machine: str, nthreads: int,
     )
 
     kw = dict(machine=MACHINES[machine], nthreads=nthreads, seed=seed,
-              events=events, tracer=tracer)
+              events=events, tracer=tracer, fault_plan=fault_plan)
     if name == "pointer":
         p = PointerParams(**kw, nelems=1 << 10 if quick else 1 << 14,
                           hops=12 if quick else 48)
@@ -110,6 +111,12 @@ def trace_main(argv) -> int:
                     choices=sorted(MACHINES),
                     help="machine model (default gm)")
     ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--fault-profile", default=None, metavar="SPEC",
+                    help="fault plan: a profile name (drop, dup, delay, "
+                         "stall, pin, chaos), inline JSON, or a JSON "
+                         "file path (see docs/FAULTS.md)")
+    ap.add_argument("--fault-seed", type=int, default=None,
+                    help="override the fault plan's RNG seed")
     ap.add_argument("--sample-us", type=float, default=100.0,
                     help="counter sampling interval in virtual µs "
                          "(0 disables; default 100)")
@@ -123,9 +130,18 @@ def trace_main(argv) -> int:
     if "csv" in formats:
         from repro.trace import Tracer
         tracer = Tracer()
+    fault_plan = None
+    if args.fault_profile is not None:
+        from repro.faults import resolve_profile
+        try:
+            fault_plan = resolve_profile(args.fault_profile,
+                                         fault_seed=args.fault_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
 
     runner = _workload(args.workload, args.quick, args.machine,
-                       args.nthreads, args.seed, log, tracer)
+                       args.nthreads, args.seed, log, tracer,
+                       fault_plan=fault_plan)
 
     t0 = time.time()
     # The sampler needs the Runtime, which the stressmark builds
@@ -179,6 +195,12 @@ def trace_main(argv) -> int:
           f"({log.dropped_events} dropped), {n_ops} ops, "
           f"{len(sampler.samples) if sampler else 0} counter samples "
           f"({wall:.1f}s)")
+    if fault_plan is not None:
+        m = run.metrics
+        print(f"  faults: {m.faults_injected} injected, "
+              f"{m.timeouts} timeouts, {m.retries} retries, "
+              f"{m.rdma_timeouts} rdma->am fallbacks, "
+              f"{m.pin_degrades} degraded handles")
     for line in artifacts:
         print(f"  wrote {line}")
 

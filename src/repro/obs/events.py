@@ -34,6 +34,16 @@ kind               meaning
 ``queue_*``        AM handler waiting for service (progress engine)
 ``bulk_*``         bulk-engine plan/issue/drain
 ``counter``        sampled time-series point (:mod:`repro.obs.sampler`)
+``fault_inject``   the fault plane fired (drop/duplicate/delay/stall/
+                   pin-deny; see ``docs/FAULTS.md``)
+``timeout``        initiator-side retransmit or RDMA-completion timer
+                   expired
+``retry``          a timed-out request is being retransmitted
+                   (``attempt`` counts from 1, ``backoff_us`` the wait)
+``degrade``        a fast path was abandoned: ``mode`` is
+                   ``rdma_to_am`` (cache entry invalidated, op falls
+                   back to AM) or ``unpinnable`` (object served over
+                   AM forever)
 =================  ======================================================
 """
 
@@ -74,6 +84,11 @@ BULK_ISSUE = "bulk_issue"
 BULK_DRAIN = "bulk_drain"
 
 COUNTER = "counter"
+
+FAULT_INJECT = "fault_inject"
+TIMEOUT = "timeout"
+RETRY = "retry"
+DEGRADE = "degrade"
 
 #: Latency-breakdown components carried by ``phase`` events.  Software
 #: overhead has no phase events: it is defined as the residual

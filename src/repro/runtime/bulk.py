@@ -45,6 +45,7 @@ from repro.obs.events import (
     OP_BEGIN,
     OP_END,
 )
+from repro.faults.reliability import ReliabilityError
 from repro.sim.event import AllOf, AnyOf
 from repro.runtime.shared_array import SharedArray
 
@@ -236,6 +237,21 @@ class BulkEngine:
     def _message_done(self, _ev) -> None:
         self.live_messages -= 1
 
+    @staticmethod
+    def _reap(procs: List, what: str) -> None:
+        """Re-raise any transfer failure.  Retry exhaustion inside one
+        pipelined message surfaces with the message's identity attached
+        (which destination, out of how many messages) — without it a
+        failed bulk op reads like a bare transport error."""
+        for proc in procs:
+            if proc.triggered and not proc.ok and isinstance(
+                    proc.exception, ReliabilityError):
+                raise ReliabilityError(
+                    f"{what}: {proc.name} failed after retries "
+                    f"({len(procs)} messages in flight plan): "
+                    f"{proc.exception}") from proc.exception
+            _ = proc.value  # re-raise any non-reliability failure
+
     # -- GET ------------------------------------------------------------
 
     def get_spans(self, thread: "UPCThread", array: SharedArray,
@@ -269,8 +285,7 @@ class BulkEngine:
 
         procs = yield from self._drive(thread, items, local_gen, msg_gen,
                                        window, op_id)
-        for proc in procs:
-            _ = proc.value  # re-raise any transfer failure
+        self._reap(procs, "bulk get")
         self._span_end(thread, op_id,
                        sum(nelems for _, nelems in spans)
                        * array.elem_size)
@@ -311,8 +326,7 @@ class BulkEngine:
 
         procs = yield from self._drive(thread, items, local_gen, msg_gen,
                                        window, op_id)
-        for proc in procs:
-            _ = proc.value  # re-raise any transfer failure
+        self._reap(procs, "bulk put")
         self._span_end(thread, op_id,
                        sum(len(v) for v in values) * array.elem_size)
         return None

@@ -60,6 +60,17 @@ class RuntimeMetrics:
     #: pipeline depth (mean/max).
     bulk_depth: RunningStats = field(default_factory=RunningStats)
 
+    #: Reliability-layer accounting (see :mod:`repro.faults`): AM
+    #: attempts re-issued after a timeout, timeouts observed (AM and
+    #: RDMA), RDMA completions that timed out and degraded to the AM
+    #: path, handles permanently degraded after a pin failure, and raw
+    #: fault-plane injections.  All zero on a healthy (fault-free) run.
+    retries: int = 0
+    timeouts: int = 0
+    rdma_timeouts: int = 0
+    pin_degrades: int = 0
+    faults_injected: int = 0
+
     def record_get(self, kind: str, latency_us: float) -> None:
         {"local": self.get_local, "shm": self.get_shm,
          "remote": self.get_remote}[kind].add(latency_us)
@@ -103,6 +114,11 @@ class RuntimeMetrics:
             "bulk_coalesced_segments": self.bulk_coalesced_segments,
             "bulk_bytes_saved": self.bulk_bytes_saved,
             "bulk_mean_depth": self.bulk_depth.mean,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "rdma_fallbacks": self.rdma_timeouts,
+            "degraded_handles": self.pin_degrades,
+            "faults_injected": self.faults_injected,
         }
 
 

@@ -33,6 +33,7 @@ from repro.obs.events import (
     CACHE_LOOKUP,
     CACHE_SEED,
     COMP_PIGGYBACK,
+    DEGRADE,
     OP_BEGIN,
     OP_END,
     PHASE,
@@ -171,10 +172,16 @@ class OpEngine:
 
         if base is not None:
             # Fast path (Figure 3b): address known, fire RDMA.
-            rt.metrics.rdma_gets += 1
-            yield from rt.cluster.transport.rdma_get(src, dst, nbytes,
-                                                     op_id=op_id)
-            return "rdma"
+            ok = yield from rt.cluster.transport.rdma_get(src, dst,
+                                                          nbytes,
+                                                          op_id=op_id)
+            if ok:
+                rt.metrics.rdma_gets += 1
+                return "rdma"
+            # Completion timeout: the cached address is suspect — drop
+            # exactly that entry (O(1)) and degrade to the AM path,
+            # whose piggybacked reply re-seeds the cache.
+            self._rdma_fallback(cache, array, src, dst, op_id, "get")
 
         # Slow path (Figure 3a / Figure 5): default protocol, asking
         # the target to piggyback its arena base address.
@@ -189,8 +196,15 @@ class OpEngine:
             if reply.payload is not None:
                 yield from self._seed_cache(cache, array, src, dst,
                                             reply.payload, op_id)
-            yield from rt.cluster.transport.rdma_get(src, dst, nbytes,
-                                                     op_id=op_id)
+            ok = yield from rt.cluster.transport.rdma_get(src, dst,
+                                                          nbytes,
+                                                          op_id=op_id)
+            if not ok:
+                # The dedicated-fetch ablation has no piggybacked data
+                # reply to fall back on; move the data over plain AM.
+                self._rdma_fallback(cache, array, src, dst, op_id, "get")
+                yield from rt.cluster.transport.default_get(
+                    src, dst, nbytes, None, op_id=op_id)
             return "am"
 
         handler = self._make_get_handler(
@@ -205,6 +219,20 @@ class OpEngine:
             yield from self._seed_cache(cache, array, src, dst,
                                         reply.payload, op_id)
         return "am"
+
+    def _rdma_fallback(self, cache, array: SharedArray, src: Node,
+                       dst: Node, op_id: int, what: str) -> None:
+        """Book-keeping for an RDMA completion timeout: count it,
+        invalidate the suspect cache entry (O(1)), record the
+        degradation."""
+        rt = self.rt
+        rt.metrics.rdma_timeouts += 1
+        cache.invalidate_entry(array.handle, dst.id)
+        log = rt.events
+        if log.enabled:
+            log.emit(rt.sim.now, DEGRADE, op=op_id, node=src.id,
+                     mode="rdma_to_am", what=what, target=dst.id,
+                     handle=str(array.handle))
 
     def _seed_cache(self, cache, array: SharedArray, src: Node,
                     dst: Node, base_addr: int, op_id: int):
@@ -334,12 +362,18 @@ class OpEngine:
             if cost:
                 yield sim.timeout(cost)
             if base is not None:
-                rt.metrics.rdma_puts += 1
                 ticket = yield from rt.cluster.transport.rdma_put(
                     src, dst, nbytes, op_id=op_id)
-                self._apply_on(ticket.remote_applied, array, snapshots)
-                thread.track_put(ticket.remote_applied)
-                return ticket, "rdma"
+                if ticket is not None:
+                    rt.metrics.rdma_puts += 1
+                    self._apply_on(ticket.remote_applied, array,
+                                   snapshots)
+                    thread.track_put(ticket.remote_applied)
+                    return ticket, "rdma"
+                # Completion timeout: drop the suspect entry and fall
+                # through to the AM path, which re-issues the store.
+                self._rdma_fallback(cache, array, src, dst, op_id,
+                                    "put")
 
         # Default protocol; the ACK piggybacks the address home
         # (asynchronously — off the initiator's critical path).
@@ -366,6 +400,11 @@ class OpEngine:
         observes the put."""
 
         def _apply(ev):
+            if not ev.ok:
+                # The reliability layer gave up on the message; the
+                # store was never observed — surface the failure at
+                # the fence, don't apply phantom bytes.
+                return
             for index, snapshot in snapshots:
                 array.write(index, snapshot)
 
@@ -385,6 +424,11 @@ class OpEngine:
                 # flight; inserting now would resurrect a stale entry
                 # the eager invalidation already removed.
                 return
+            if rt.pinned_table(dst.id).is_unpinnable(array.handle):
+                # Registration failed on the target: the arena base is
+                # known but RDMA to it would touch unpinned memory, so
+                # no address goes home and the object stays on AM.
+                return
             base = self._target_base_addr(array, dst)
             if base is not None:
                 cache = rt.addr_cache(src.id)
@@ -396,6 +440,8 @@ class OpEngine:
                              handle=str(array.handle), on_ack=True)
 
         def _spawn(ev):
+            if not ev.ok:
+                return
             rt.sim.process(_tail(), name="put-ack-piggyback")
 
         remote_applied.add_callback(_spawn)
@@ -443,11 +489,14 @@ class OpEngine:
             payload: Optional[int] = None
             extra = 0
             if want_addr:
-                pin_cost = self._ensure_pinned(array, node,
-                                               touch_offset, touch_bytes)
+                pin_cost, pinned = self._ensure_pinned(
+                    array, node, touch_offset, touch_bytes)
                 cost += pin_cost
-                payload = self._target_base_addr(array, node)
-                extra = piggy.reply_extra_bytes()
+                if pinned:
+                    payload = self._target_base_addr(array, node)
+                    extra = piggy.reply_extra_bytes()
+                # else: degraded — no address goes home, the cache is
+                # never seeded, and this object stays on the AM path.
             return cost, payload, extra
 
         return handler
@@ -462,31 +511,65 @@ class OpEngine:
         def handler(node: Node) -> Tuple[float, Optional[int], int]:
             replica = rt.svd(node.id)
             replica.lookup_local(array.handle)
-            cost = p.svd_lookup_us + self._ensure_pinned(
+            pin_cost, pinned = self._ensure_pinned(
                 array, node, touch_offset, array.elem_size)
-            return cost, self._target_base_addr(array, node), 0
+            cost = p.svd_lookup_us + pin_cost
+            base = (self._target_base_addr(array, node) if pinned
+                    else None)
+            return cost, base, 0
 
         return handler
 
     def _ensure_pinned(self, array: SharedArray, node: Node,
-                       touch_offset: int, touch_bytes: int) -> float:
+                       touch_offset: int,
+                       touch_bytes: int) -> Tuple[float, bool]:
         """First-touch pinning per the configured policy (section 3.1):
         PIN_EVERYTHING registers the whole arena; CHUNKED registers
-        only the chunk(s) containing the touched range."""
+        only the chunk(s) containing the touched range.
+
+        Returns ``(cost_us, ok)``.  Registration can fail — the real
+        registered-memory limit, or the fault plane's injected budget.
+        When degradation is active (a fault plane is installed, or
+        ``degrade_pin_failures`` is set) the handle is marked
+        unpinnable and served over AM forever; otherwise the failure
+        propagates as :class:`PinLimitError`, the strict pre-fault
+        behavior.
+        """
         rt = self.rt
         base = array.node_base.get(node.id)
         if base is None:
-            return 0.0
+            return 0.0, True
         size = array.node_bytes[node.id]
         table = rt.pinned_table(node.id)
+        if table.is_unpinnable(array.handle):
+            # Already degraded: one failed pin, not one per access.
+            return 0.0, False
+        faults = rt.faults
         touch_bytes = min(touch_bytes, size - touch_offset)
         cost = 0.0
         for vaddr, span in ranges_to_pin(
                 rt.config.pinning_policy, base, size,
                 touch_offset=touch_offset, touch_size=max(1, touch_bytes),
                 chunk_bytes=rt.config.pin_chunk_bytes):
-            cost += table.register(array.handle, vaddr, span)
-        return cost
+            if (faults is not None
+                    and not table.is_pinned(vaddr, span)
+                    and not faults.pin_allowed(node.id, span)):
+                ok = False
+            else:
+                c, ok = table.register(array.handle, vaddr, span)
+                cost += c
+            if not ok:
+                if faults is None and not rt.config.degrade_pin_failures:
+                    raise table.last_pin_error
+                table.mark_unpinnable(array.handle)
+                rt.metrics.pin_degrades += 1
+                log = rt.events
+                if log.enabled:
+                    log.emit(rt.sim.now, DEGRADE, node=node.id,
+                             mode="unpinnable",
+                             handle=str(array.handle))
+                return cost, False
+        return cost, True
 
     def _target_base_addr(self, array: SharedArray,
                           node: Node) -> Optional[int]:

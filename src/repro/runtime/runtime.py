@@ -103,6 +103,20 @@ class RuntimeConfig:
     #: None a disabled log is used and recording costs one branch per
     #: instrumentation site (see :mod:`repro.obs`).
     events: Optional[object] = None
+    #: Optional deterministic fault plan (a
+    #: :class:`repro.faults.FaultPlan`).  None — or an *empty* plan —
+    #: installs no injector, and the run is bit-identical to a build
+    #: without the fault plane (see docs/FAULTS.md).
+    fault_plan: Optional[object] = None
+    #: Reliability knobs (a :class:`repro.faults.ReliabilityConfig`);
+    #: None keeps the transport's defaults.  Only consulted when
+    #: messages can actually be lost, but configurable independently
+    #: so tests can tighten timeouts.
+    reliability: Optional[object] = None
+    #: Degrade pin-registration failures to the AM path even without a
+    #: fault plan (the default False preserves strict
+    #: PinLimitError-raising behavior for capacity experiments).
+    degrade_pin_failures: bool = False
 
     def __post_init__(self) -> None:
         if self.nthreads < 1:
@@ -182,6 +196,26 @@ class Runtime:
 
         self.handles = HandleAllocator(config.nthreads)
         self.metrics = RuntimeMetrics()
+
+        # Fault plane + reliability layer.  An absent or *empty* plan
+        # installs nothing — transport.faults stays None and every
+        # hot-path site short-circuits on that, keeping fault-free
+        # runs bit-identical to the pre-fault build.
+        self.faults = None
+        if config.fault_plan is not None and not config.fault_plan.empty:
+            from repro.faults.injector import FaultInjector
+            self.faults = FaultInjector(config.fault_plan, self.sim,
+                                        events=self.events,
+                                        metrics=self.metrics)
+            self.cluster.transport.faults = self.faults
+            for node in self.cluster.nodes:
+                node.progress.faults = self.faults
+        self.cluster.transport.metrics = self.metrics
+        if config.reliability is not None:
+            from repro.faults.reliability import DedupLedger
+            self.cluster.transport.reliability = config.reliability
+            self.cluster.transport.ledger = DedupLedger(
+                config.reliability.ledger_capacity)
         self.ops = OpEngine(self)
         self.bulk = BulkEngine(self)
         self.barrier_mgr = BarrierManager(self)
@@ -491,6 +525,12 @@ class Runtime:
             f"mean={m.bulk_depth.mean:.1f} "
             f"max={m.bulk_depth.max if m.bulk_depth.n else 0:.0f}",
         ]
+        if self.faults is not None:
+            lines.append(
+                f"  reliability: {m.faults_injected} faults injected, "
+                f"{m.timeouts} timeouts, {m.retries} retries, "
+                f"{m.rdma_timeouts} rdma->am fallbacks, "
+                f"{m.pin_degrades} handles degraded to AM")
         for node in self.cluster.nodes[:8]:
             assert node.progress is not None
             lines.append(

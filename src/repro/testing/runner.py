@@ -402,16 +402,30 @@ class _Driver:
 # ---------------------------------------------------------------------------
 
 def run_config(program: Program, point: ConfigPoint,
-               oracle: OracleResult) -> List[Divergence]:
-    """Replay ``program`` under one config; return its divergences."""
+               oracle: OracleResult,
+               fault_plan=None) -> List[Divergence]:
+    """Replay ``program`` under one config; return its divergences.
+
+    With ``fault_plan`` set the run executes under deterministic fault
+    injection — drops, duplicates, stalls, pin exhaustion — and the
+    reliability layer (see :mod:`repro.faults`) must still deliver
+    oracle-identical values.  Any divergence under faults is a real
+    recovery bug: a lost retry, a double-applied duplicate, a degraded
+    handle serving stale data.
+    """
     divs: List[Divergence] = []
 
     def div(kind, detail, **kw):
+        if fault_plan is not None:
+            detail = f"[fault seed {fault_plan.seed}] {detail}"
         divs.append(Divergence(config=point.name, kind=kind,
                                detail=detail, program=program, **kw))
 
-    rt = Runtime(point.runtime_config(program.nthreads,
-                                      seed=program.seed or 0))
+    cfg = point.runtime_config(program.nthreads,
+                               seed=program.seed or 0)
+    if fault_plan is not None:
+        cfg = replace(cfg, fault_plan=fault_plan)
+    rt = Runtime(cfg)
     driver = _Driver(rt, program)
     rt.spawn(driver.kernel)
     try:
@@ -452,13 +466,15 @@ def run_config(program: Program, point: ConfigPoint,
 def run_differential(program: Program,
                      configs: Optional[List[ConfigPoint]] = None,
                      oracle_result: Optional[OracleResult] = None,
-                     stop_on_first: bool = False) -> List[Divergence]:
+                     stop_on_first: bool = False,
+                     fault_plan=None) -> List[Divergence]:
     """Replay ``program`` across ``configs`` (default: quick matrix)
     and return every divergence from the flat oracle."""
     oracle = oracle_result or run_oracle(program)
     divs: List[Divergence] = []
     for point in configs if configs is not None else list(QUICK_MATRIX):
-        divs.extend(run_config(program, point, oracle))
+        divs.extend(run_config(program, point, oracle,
+                               fault_plan=fault_plan))
         if divs and stop_on_first:
             break
     return divs
@@ -486,7 +502,7 @@ class FuzzReport:
 
 
 def record_flight(program: Program, point: ConfigPoint,
-                  path: str) -> int:
+                  path: str, fault_plan=None) -> int:
     """Replay ``program`` under ``point`` with the flight recorder on
     and dump the event log as JSONL to ``path``.
 
@@ -506,7 +522,7 @@ def record_flight(program: Program, point: ConfigPoint,
     events = EventLog()
     cfg = replace(point.runtime_config(program.nthreads,
                                        seed=program.seed or 0),
-                  events=events)
+                  events=events, fault_plan=fault_plan)
     rt = Runtime(cfg)
     driver = _Driver(rt, program)
     rt.spawn(driver.kernel)
@@ -523,6 +539,7 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
          shrink_failures: bool = True,
          corpus_dir: Optional[str] = None,
          trace_dir: Optional[str] = None,
+         fault_plan=None,
          log=print) -> FuzzReport:
     """Generate-one, replay-everywhere, shrink-on-failure.
 
@@ -535,6 +552,11 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
     replayed under the first failing config with the protocol flight
     recorder on, and the JSONL event log is written there (uploaded as
     a CI artifact on failure; see docs/OBSERVABILITY.md).
+
+    With ``fault_plan`` set every replay runs under deterministic
+    fault injection, each program under its own derived fault seed
+    (``plan.with_seed``) so a campaign explores many fault schedules
+    while any failure stays replayable from the two seeds alone.
     """
     from repro.testing.generator import generate_program
     from repro.testing.shrink import shrink
@@ -546,10 +568,14 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
         report.seeds_run.append(seed)
         report.programs_run += 1
         report.ops_run += program.n_ops
-        divs = run_differential(program, configs=matrix)
+        plan = None
+        if fault_plan is not None:
+            plan = fault_plan.with_seed(fault_plan.seed + 1000003 * seed)
+        divs = run_differential(program, configs=matrix, fault_plan=plan)
         if not divs:
             log(f"seed {seed}: {program.n_ops} ops x "
-                f"{len(matrix)} configs ok")
+                f"{len(matrix)} configs ok"
+                + (f" (fault seed {plan.seed})" if plan else ""))
             continue
         log(f"seed {seed}: {len(divs)} divergence(s); first:\n"
             f"{divs[0].describe()}")
@@ -561,7 +587,8 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
 
             def still_fails(candidate: Program) -> bool:
                 return bool(run_differential(candidate, configs=points,
-                                             stop_on_first=True))
+                                             stop_on_first=True,
+                                             fault_plan=plan))
 
             reproducer = shrink(program, still_fails)
             log(f"seed {seed}: shrunk {program.n_ops} -> "
@@ -584,6 +611,6 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
             path = os.path.join(
                 trace_dir, f"shrunk-seed{seed}-{first_cfg}.events.jsonl")
             point = next(p for p in matrix if p.name == first_cfg)
-            n = record_flight(reproducer, point, path)
+            n = record_flight(reproducer, point, path, fault_plan=plan)
             log(f"saved flight-recorder log ({n} events) to {path}")
     return report

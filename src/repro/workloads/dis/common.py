@@ -37,6 +37,10 @@ class DISBase:
     tracer: Optional[Any] = None
     #: Optional flight recorder (an :class:`repro.obs.EventLog`).
     events: Optional[Any] = None
+    #: Optional deterministic fault plan / reliability knobs (see
+    #: :mod:`repro.faults` and docs/FAULTS.md).
+    fault_plan: Optional[Any] = None
+    reliability: Optional[Any] = None
 
     def runtime(self) -> Runtime:
         cfg = RuntimeConfig(
@@ -56,6 +60,8 @@ class DISBase:
             seed=self.seed,
             tracer=self.tracer,
             events=self.events,
+            fault_plan=self.fault_plan,
+            reliability=self.reliability,
         )
         return Runtime(cfg)
 

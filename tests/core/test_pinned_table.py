@@ -11,12 +11,29 @@ def make_table(**kw):
 
 def test_register_pins_and_costs_once():
     t, pm = make_table()
-    c1 = t.register("h", 0x1000, 8192)
-    c2 = t.register("h", 0x1000, 8192)
+    c1, ok1 = t.register("h", 0x1000, 8192)
+    c2, ok2 = t.register("h", 0x1000, 8192)
+    assert ok1 and ok2
     assert c1 > 0 and c2 == 0.0
     assert t.is_pinned(0x1000, 8192)
     assert len(t) == 1
     assert t.entry_count_for("h") == 1
+
+
+def test_register_failure_returns_flag_and_error():
+    t, pm = make_table(max_total_bytes=4096)
+    cost, ok = t.register("h", 0x1000, 8192)
+    assert not ok and cost == 0.0
+    assert t.last_pin_error is not None
+    assert len(t) == 0 and not t.is_pinned(0x1000, 8192)
+
+
+def test_unpinnable_mark_cleared_on_unregister():
+    t, _ = make_table()
+    t.mark_unpinnable("h")
+    assert t.is_unpinnable("h") and t.unpinnable_count == 1
+    t.unregister_handle("h")
+    assert not t.is_unpinnable("h") and t.unpinnable_count == 0
 
 
 def test_lookup_phys_only_for_pinned():

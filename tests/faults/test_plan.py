@@ -1,0 +1,117 @@
+"""FaultPlan construction, validation, and the JSON round trip."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    ANY_NODE,
+    FaultPlan,
+    HandlerStall,
+    LinkFault,
+    NicStall,
+    PinBudget,
+    PROFILES,
+    resolve_profile,
+)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=42,
+        name="everything",
+        links=(
+            LinkFault(kind="drop", prob=0.1, src=0, dst=2, scope="both"),
+            LinkFault(kind="duplicate", prob=0.05),
+            LinkFault(kind="delay", prob=0.5, delay_us=12.5,
+                      t_start=100.0, t_end=250.0, scope="rdma"),
+        ),
+        nic_stalls=(NicStall(stall_us=20.0, node=1, prob=0.3,
+                             t_end=500.0),),
+        handler_stalls=(HandlerStall(stall_us=40.0),),
+        pin_budgets=(PinBudget(budget_bytes=4096, node=3),),
+    )
+
+
+def test_json_round_trip_is_lossless():
+    plan = full_plan()
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+    # And again, through the pretty-printed form.
+    assert FaultPlan.from_json(plan.to_json(indent=2)) == plan
+
+
+def test_json_spells_open_windows_as_inf():
+    plan = FaultPlan(links=(LinkFault(kind="drop", prob=0.1),))
+    text = plan.to_json()
+    assert '"inf"' in text
+    assert FaultPlan.from_json(text).links[0].t_end == math.inf
+
+
+def test_from_json_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault-plan keys"):
+        FaultPlan.from_json('{"seed": 1, "typo_field": []}')
+
+
+def test_empty_plan_detection():
+    assert FaultPlan().empty
+    assert FaultPlan(seed=99, name="label").empty
+    assert not full_plan().empty
+
+
+def test_with_seed_changes_only_the_seed():
+    plan = full_plan()
+    other = plan.with_seed(7)
+    assert other.seed == 7
+    assert other.links == plan.links
+    assert other.name == plan.name
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: LinkFault(kind="corrupt", prob=0.5),
+    lambda: LinkFault(kind="drop", prob=1.5),
+    lambda: LinkFault(kind="drop", prob=0.5, scope="carrier-pigeon"),
+    lambda: LinkFault(kind="delay", prob=0.5),            # no delay_us
+    lambda: LinkFault(kind="drop", prob=0.5, t_start=10.0, t_end=5.0),
+    lambda: NicStall(stall_us=0.0),
+    lambda: HandlerStall(stall_us=-1.0),
+    lambda: PinBudget(budget_bytes=-1),
+])
+def test_rule_validation_rejects_nonsense(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_link_fault_matching_wildcards_and_windows():
+    rule = LinkFault(kind="drop", prob=1.0, src=ANY_NODE, dst=2,
+                     t_start=10.0, t_end=20.0)
+    assert rule.matches(0, 2, 10.0)
+    assert rule.matches(5, 2, 19.9)
+    assert not rule.matches(0, 3, 15.0)     # wrong dst
+    assert not rule.matches(0, 2, 9.9)      # before window
+    assert not rule.matches(0, 2, 20.0)     # t_end exclusive
+
+
+def test_profiles_are_valid_and_named():
+    for name, plan in PROFILES.items():
+        assert plan.name == name
+        assert not plan.empty
+        # Every profile must survive its own round trip.
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_resolve_profile_by_name_inline_and_file(tmp_path):
+    assert resolve_profile("chaos") is PROFILES["chaos"]
+    assert resolve_profile("chaos", fault_seed=9).seed == 9
+
+    inline = resolve_profile('{"seed": 3, "pin_budgets": '
+                             '[{"budget_bytes": 64, "node": -1}]}')
+    assert inline.seed == 3
+    assert inline.pin_budgets[0].budget_bytes == 64
+
+    path = tmp_path / "plan.json"
+    path.write_text(full_plan().to_json(indent=2), encoding="utf-8")
+    assert resolve_profile(str(path)) == full_plan()
+
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        resolve_profile("no-such-profile")
