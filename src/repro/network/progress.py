@@ -39,6 +39,9 @@ class ProgressEngine:
         self.serviced = 0
         #: Accumulated time handlers spent waiting for service.
         self.wait_time = 0.0
+        #: Peak number of handlers queued waiting for a poller (always
+        #: 0 for interrupt-driven engines, which never queue).
+        self.max_backlog = 0
         #: Flight recorder (injected by the Runtime; may stay None for
         #: bare-cluster uses).
         self.events = None
@@ -46,12 +49,19 @@ class ProgressEngine:
         #: transport's); models slow/wedged targets as extra dispatch
         #: latency.  None == healthy node, zero extra yields.
         self.faults = None
+        #: Run metrics (injected by the Runtime); receives the global
+        #: ``max_backlog`` peak across nodes.
+        self.metrics = None
+        #: Counter sampler (installed by ``CounterSampler.start``);
+        #: notified on every backlog transition so queue depth is not
+        #: under-reported between poll ticks.
+        self.sampler = None
 
     def _stall(self, op_id: int):
         """Injected target-handler slowdown, charged before dispatch."""
         extra = self.faults.handler_stall(self.node.id, op_id=op_id)
         if extra > 0.0:
-            yield self.sim.timeout(extra)
+            yield self.sim.sleep(extra)
 
     # -- thread-side hooks (only meaningful for polling) ----------------
 
@@ -105,6 +115,7 @@ class PollingProgress(ProgressEngine):
         super().__init__(sim, node, params)
         self._pollers = 0
         self._waiters: List[Event] = []
+        self._await_name = f"await-poll[{node.id}]"
 
     @property
     def pollers(self) -> int:
@@ -125,10 +136,29 @@ class PollingProgress(ProgressEngine):
         """A momentary progress tick (e.g. between compute slices)."""
         self._wake_all()
 
+    def _backlog_changed(self, depth: int) -> None:
+        """One enqueue/dequeue transition: track the peak and give the
+        counter sampler its between-ticks data point (§4.6 backlog
+        under-reporting fix)."""
+        if depth > self.max_backlog:
+            self.max_backlog = depth
+            metrics = self.metrics
+            if metrics is not None and depth > metrics.max_backlog:
+                metrics.max_backlog = depth
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.backlog_transition(self.node.id, depth)
+
     def _wake_all(self) -> None:
-        waiters, self._waiters = self._waiters, []
-        for ev in waiters:
-            ev.succeed()
+        waiters = self._waiters
+        if waiters:
+            # succeed() only schedules — callbacks run from the
+            # dispatch loop, so nothing can append to the list while we
+            # iterate, and clearing in place avoids a list allocation.
+            for ev in waiters:
+                ev.succeed()
+            waiters.clear()
+            self._backlog_changed(0)
 
     def service(self, op_id: int = -1):
         t0 = self.sim.now
@@ -138,12 +168,17 @@ class PollingProgress(ProgressEngine):
             log.emit(t0, QUEUE_ENTER, op=op_id, node=self.node.id,
                      pollers=self._pollers)
         if self._pollers == 0:
-            ev = Event(self.sim, name=f"await-poll[{self.node.id}]")
+            sim = self.sim
+            if sim.pooled:
+                ev = sim.oneshot(self._await_name)
+            else:
+                ev = Event(sim, name=f"await-poll[{self.node.id}]")
             self._waiters.append(ev)
+            self._backlog_changed(len(self._waiters))
             yield ev
         if self.faults is not None:
             yield from self._stall(op_id)
-        yield self.sim.timeout(self.params.dispatch_us)
+        yield self.sim.sleep(self.params.dispatch_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0
         self._record_queue(t0, op_id)
@@ -160,7 +195,7 @@ class InterruptProgress(ProgressEngine):
             log.emit(t0, QUEUE_ENTER, op=op_id, node=self.node.id)
         if self.faults is not None:
             yield from self._stall(op_id)
-        yield self.sim.timeout(self.params.interrupt_us)
+        yield self.sim.sleep(self.params.interrupt_us)
         self.serviced += 1
         self.wait_time += self.sim.now - t0
         self._record_queue(t0, op_id)

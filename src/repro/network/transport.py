@@ -191,7 +191,7 @@ class Transport:
         the expiry."""
         rest = timeout_us - (self.sim.now - t0)
         if rest > 0:
-            yield self.sim.timeout(rest)
+            yield self.sim.sleep(rest)
         self.counters.bump(f"{proto}-timeout")
         if self.metrics is not None:
             self.metrics.timeouts += 1
@@ -212,7 +212,7 @@ class Transport:
                 f"{r.max_retries} retries (op {op_id})")
         delay = r.backoff_us(attempt - 1)
         if delay > 0:
-            yield self.sim.timeout(delay)
+            yield self.sim.sleep(delay)
         self.counters.bump("am-retry")
         if self.metrics is not None:
             self.metrics.retries += 1
@@ -248,8 +248,8 @@ class Transport:
             if self.faults is not None:
                 stall = self.faults.nic_stall(node.id)
                 if stall > 0.0:
-                    yield self.sim.timeout(stall)
-            yield self.sim.timeout(frags * p.nic_gap_us + p.wire_time(nbytes))
+                    yield self.sim.sleep(stall)
+            yield self.sim.sleep(frags * p.nic_gap_us + p.wire_time(nbytes))
         finally:
             node.nic.release()
 
@@ -257,7 +257,7 @@ class Transport:
         """Pure latency of the fabric between two nodes."""
         lat = self.topology.latency(src.id, dst.id) + extra
         if lat > 0:
-            yield self.sim.timeout(lat)
+            yield self.sim.sleep(lat)
 
     def _run_handler(self, dst: Node, handler: Optional[Handler],
                      handler_copy_bytes: int = 0,
@@ -327,14 +327,14 @@ class Transport:
             if rec:
                 self.events.emit(t_h, HANDLER_BEGIN, op=op_id,
                                  node=dst.id)
-            yield self.sim.timeout(cost)
+            yield self.sim.sleep(cost)
             if rec:
                 self.events.emit(self.sim.now, HANDLER_END, op=op_id,
                                  node=dst.id, cost=cost)
                 self._phase(op_id, COMP_HANDLER, t_h)
             if reply_bytes:
                 t_r = self.sim.now
-                yield self.sim.timeout(p.o_send_us)
+                yield self.sim.sleep(p.o_send_us)
                 yield from self._inject(dst, reply_bytes + extra_bytes,
                                         fragmented=reply_fragmented)
                 if rec:
@@ -433,7 +433,7 @@ class Transport:
         rec = self._recording()
         self.counters.eager_transfers += 1
         # Request.
-        yield self.sim.timeout(p.o_send_us)
+        yield self.sim.sleep(p.o_send_us)
         self._record(wire.AM_REQUEST, src, dst, p.ctrl_bytes)
         t0 = self.sim.now
         if rec:
@@ -471,7 +471,7 @@ class Transport:
                              node=src.id, piggyback=extra > 0)
         # Initiator: receive + copy out of the bounce buffer, then
         # return the receive-buffer credit to the pool.
-        yield self.sim.timeout(p.o_recv_us + p.copy_time(nbytes))
+        yield self.sim.sleep(p.o_recv_us + p.copy_time(nbytes))
         self._credit_pool(src).release()
         return True, payload
 
@@ -488,10 +488,10 @@ class Transport:
         rec = self._recording()
         self.counters.rendezvous_transfers += 1
         # RTS.
-        yield self.sim.timeout(p.o_send_us + p.rendezvous_cpu_us)
+        yield self.sim.sleep(p.o_send_us + p.rendezvous_cpu_us)
         reg_cost = src.reg_cache.register(src_addr, nbytes)
         if reg_cost:
-            yield self.sim.timeout(reg_cost)
+            yield self.sim.sleep(reg_cost)
         self._record(wire.RTS, src, dst, p.ctrl_bytes)
         t0 = self.sim.now
         if rec:
@@ -542,7 +542,7 @@ class Transport:
                 self.events.emit(t_r + cost, HANDLER_END, op=op_id,
                                  node=dst.id, cost=cost)
                 self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
-            yield self.sim.timeout(cost + p.o_send_us)
+            yield self.sim.sleep(cost + p.o_send_us)
             self._record(wire.RDV_DATA, dst, src,
                          nbytes + p.ctrl_bytes + extra)
             yield from self._inject(dst, nbytes + p.ctrl_bytes + extra,
@@ -571,7 +571,7 @@ class Transport:
             self.events.emit(self.sim.now, AM_REPLY_RECV, op=op_id,
                              node=src.id, piggyback=extra > 0)
         # Initiator completion (no copies: the NIC delivered in place).
-        yield self.sim.timeout(p.o_recv_us)
+        yield self.sim.sleep(p.o_recv_us)
         return True, payload
 
     def default_put(self, src: Node, dst: Node, nbytes: int,
@@ -598,7 +598,7 @@ class Transport:
             self.counters.eager_transfers += 1
             # Local side: software overhead, bounce copy, a receive
             # credit at the destination, injection.
-            yield self.sim.timeout(p.o_send_us + p.copy_time(nbytes))
+            yield self.sim.sleep(p.o_send_us + p.copy_time(nbytes))
             yield self._credit_pool(dst).acquire()
             self._record(wire.PUT_DATA, src, dst, nbytes + p.ctrl_bytes)
             t0 = self.sim.now
@@ -620,10 +620,10 @@ class Transport:
         else:
             self.counters.rendezvous_transfers += 1
             # RTS/CTS handshake happens synchronously (rendezvous).
-            yield self.sim.timeout(p.o_send_us + p.rendezvous_cpu_us)
+            yield self.sim.sleep(p.o_send_us + p.rendezvous_cpu_us)
             reg_cost = src.reg_cache.register(src_addr, nbytes)
             if reg_cost:
-                yield self.sim.timeout(reg_cost)
+                yield self.sim.sleep(reg_cost)
             if self.faults is None:
                 yield from self._rdv_put_handshake(src, dst, nbytes,
                                                    handler, dst_addr,
@@ -712,7 +712,7 @@ class Transport:
                 self.events.emit(t_r + cost, HANDLER_END, op=op_id,
                                  node=dst.id, cost=cost)
                 self._phase(op_id, COMP_HANDLER, t_r, dur=cost)
-            yield self.sim.timeout(cost + p.o_send_us)
+            yield self.sim.sleep(cost + p.o_send_us)
             self._record(wire.CTS, dst, src, p.ctrl_bytes)
             yield from self._inject(dst, p.ctrl_bytes, fragmented=False)
             if rec:
@@ -728,7 +728,7 @@ class Transport:
         yield from self._wire(dst, src, extra=fate.delay_us)
         if rec:
             self._phase(op_id, COMP_WIRE, t1)
-        yield self.sim.timeout(p.o_recv_us)
+        yield self.sim.sleep(p.o_recv_us)
         return True
 
     def _put_tail(self, src: Node, dst: Node, nbytes: int,
@@ -826,7 +826,7 @@ class Transport:
         done = Event(self.sim, name="oneway-done")
 
         def _fly():
-            yield self.sim.timeout(self.params.o_send_us)
+            yield self.sim.sleep(self.params.o_send_us)
             yield self._credit_pool(dst).acquire()
             try:
                 if self.faults is None:
@@ -886,7 +886,7 @@ class Transport:
         fate = (self.faults.rdma_fate(src.id, dst.id, op_id=op_id)
                 if self.faults is not None else NO_FAULT)
         t_start = self.sim.now
-        yield self.sim.timeout(p.rdma_init_us)
+        yield self.sim.sleep(p.rdma_init_us)
         self._record(wire.RDMA_READ, src, dst, p.ctrl_bytes)
         t0 = self.sim.now
         if rec:
@@ -914,13 +914,13 @@ class Transport:
             self._phase(op_id, COMP_QUEUE, t1)
         t2 = self.sim.now
         try:
-            yield self.sim.timeout(p.nic_gap_us + p.wire_time(nbytes))
+            yield self.sim.sleep(p.nic_gap_us + p.wire_time(nbytes))
         finally:
             dst.nic.release()
         yield from self._wire(dst, src)
         if rec:
             self._phase(op_id, COMP_WIRE, t2)
-        yield self.sim.timeout(p.rdma_completion_us)
+        yield self.sim.sleep(p.rdma_completion_us)
         if rec:
             self.events.emit(self.sim.now, RDMA_COMPLETE, op=op_id,
                              node=src.id, nbytes=nbytes)
@@ -945,7 +945,7 @@ class Transport:
                 if self.faults is not None else NO_FAULT)
         t_start = self.sim.now
         remote_applied = Event(self.sim, name="rdma-put-applied")
-        yield self.sim.timeout(p.rdma_init_us)
+        yield self.sim.sleep(p.rdma_init_us)
         self._record(wire.RDMA_WRITE, src, dst, nbytes + p.ctrl_bytes)
         t0 = self.sim.now
         if rec:
@@ -968,9 +968,9 @@ class Transport:
             yield from self._wire(dst, src)  # hardware ack
             if rec:
                 self._phase(op_id, COMP_WIRE, t1)
-            yield self.sim.timeout(p.rdma_completion_us)
+            yield self.sim.sleep(p.rdma_completion_us)
         else:
-            yield self.sim.timeout(p.rdma_completion_us)
+            yield self.sim.sleep(p.rdma_completion_us)
 
             def _tail():
                 yield from self._wire(src, dst,

@@ -45,16 +45,27 @@ class CounterSampler:
         if self._started:
             return
         self._started = True
+        # Subscribe to backlog transitions so AM queue depth between
+        # poll ticks is captured too (the §4.6 pathology builds and
+        # drains its backlog entirely inside one compute slice).
+        for node in self.rt.cluster.nodes:
+            node.progress.sampler = self
         self.rt.sim.process(self._run(), name="obs-sampler")
+
+    def backlog_transition(self, node_id: int, depth: int) -> None:
+        """One AM-queue enqueue/drain edge, pushed by the progress
+        engine the moment it happens (not at the next tick)."""
+        self.samples.append(
+            (self.rt.sim.now, node_id, "am_queue", float(depth)))
 
     def _run(self):
         sim = self.rt.sim
         while True:
             self._sample_once()
-            yield sim.timeout(self.interval_us)
+            yield sim.sleep(self.interval_us)
             # When this tick was the only remaining event the program
             # is done: stop instead of keeping the clock running.
-            if not sim._heap:
+            if not sim.pending:
                 self._sample_once()
                 return
 

@@ -81,11 +81,11 @@ class BarrierManager:
         """Generator: block until every UPC thread arrived
         (``upc_barrier`` = notify + wait back to back)."""
         sim = self.rt.sim
-        yield sim.timeout(self.rt.cluster.params.o_sw_us)  # entry
+        yield sim.sleep(self.rt.cluster.params.o_sw_us)  # entry
         release = self._arrive(thread)
         yield release
         # Exit overhead (wakeup, flag reset).
-        yield sim.timeout(0.2)
+        yield sim.sleep(0.2)
 
     # -- split-phase barrier (upc_notify / upc_wait) --------------------
 
@@ -94,7 +94,7 @@ class BarrierManager:
         The thread may compute before calling :meth:`phase_wait`,
         overlapping its work with the barrier's network phase."""
         sim = self.rt.sim
-        yield sim.timeout(self.rt.cluster.params.o_sw_us)
+        yield sim.sleep(self.rt.cluster.params.o_sw_us)
         if thread.id in self._notified:
             raise RuntimeError(
                 f"thread {thread.id}: upc_notify twice without upc_wait")
@@ -108,7 +108,7 @@ class BarrierManager:
             raise RuntimeError(
                 f"thread {thread.id}: upc_wait without upc_notify")
         yield release
-        yield self.rt.sim.timeout(0.2)
+        yield self.rt.sim.sleep(0.2)
 
 
 class Reducer:
@@ -149,7 +149,7 @@ class Reducer:
         if nnodes > 1:
             stages = max(1, math.ceil(math.log2(nnodes)))
             machine = rt.cluster.machine
-            yield rt.sim.timeout(stages * (machine.wire_base_us
+            yield rt.sim.sleep(stages * (machine.wire_base_us
                                            + 3 * machine.wire_per_hop_us))
         result = self._results[tag]
         # The last thread out cleans the slot for tag reuse safety.
@@ -189,7 +189,7 @@ class Broadcaster:
         if nnodes > 1:
             stages = max(1, math.ceil(math.log2(nnodes)))
             machine = rt.cluster.machine
-            yield sim.timeout(stages * (machine.wire_base_us
+            yield sim.sleep(stages * (machine.wire_base_us
                                         + 3 * machine.wire_per_hop_us))
         result = self._slots[tag]
         return result

@@ -71,15 +71,27 @@ class RuntimeMetrics:
     pin_degrades: int = 0
     faults_injected: int = 0
 
+    #: Peak AM-handler backlog observed by any polling progress engine
+    #: (handlers queued while no thread was polling, §4.6) — updated on
+    #: every enqueue transition, not just at sampler ticks.
+    max_backlog: int = 0
+
     def record_get(self, kind: str, latency_us: float) -> None:
-        {"local": self.get_local, "shm": self.get_shm,
-         "remote": self.get_remote}[kind].add(latency_us)
         if kind == "remote":
+            self.get_remote.add(latency_us)
             self.get_remote_digest.add(latency_us)
+        elif kind == "local":
+            self.get_local.add(latency_us)
+        else:
+            self.get_shm.add(latency_us)
 
     def record_put(self, kind: str, latency_us: float) -> None:
-        {"local": self.put_local, "shm": self.put_shm,
-         "remote": self.put_remote}[kind].add(latency_us)
+        if kind == "remote":
+            self.put_remote.add(latency_us)
+        elif kind == "local":
+            self.put_local.add(latency_us)
+        else:
+            self.put_shm.add(latency_us)
 
     @property
     def remote_ops(self) -> int:
@@ -114,6 +126,7 @@ class RuntimeMetrics:
             "bulk_coalesced_segments": self.bulk_coalesced_segments,
             "bulk_bytes_saved": self.bulk_bytes_saved,
             "bulk_mean_depth": self.bulk_depth.mean,
+            "max_backlog": self.max_backlog,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "rdma_fallbacks": self.rdma_timeouts,

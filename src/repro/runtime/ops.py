@@ -51,22 +51,26 @@ class OpEngine:
     def __init__(self, runtime: "Runtime") -> None:
         self.rt = runtime
         self.params = runtime.cluster.params
+        # Cached for the per-op hot path (attribute chains add up at
+        # 10^5 ops per sweep); both are fixed for the runtime's life.
+        self.sim = runtime.sim
+        self.events = runtime.events
 
     def _begin(self, thread: "UPCThread", name: str, **attrs) -> int:
         """Open a flight-recorder op span; returns op id (-1 if off)."""
-        log = self.rt.events
+        log = self.events
         if not log.enabled:
             return -1
         op_id = log.next_op_id()
-        log.emit(self.rt.sim.now, OP_BEGIN, op=op_id, thread=thread.id,
+        log.emit(self.sim.now, OP_BEGIN, op=op_id, thread=thread.id,
                  node=thread.node.id, name=name, **attrs)
         return op_id
 
     def _end(self, thread: "UPCThread", op_id: int, proto: str,
              **attrs) -> None:
-        log = self.rt.events
+        log = self.events
         if log.enabled and op_id >= 0:
-            log.emit(self.rt.sim.now, OP_END, op=op_id,
+            log.emit(self.sim.now, OP_END, op=op_id,
                      thread=thread.id, node=thread.node.id,
                      proto=proto, **attrs)
 
@@ -87,21 +91,21 @@ class OpEngine:
         self._check_live(array)
         self._check_one_owner(array, index, nelems)
         op_id = self._begin(thread, "get", index=index, nelems=nelems)
-        yield sim.timeout(p.o_sw_us)
+        yield sim.sleep(p.o_sw_us)
 
         owner_thread = array.owner_thread(index)
         owner_node_id = array.owner_node(index)
         nbytes = array.span_bytes(nelems)
 
         if owner_thread == thread.id:
-            yield sim.timeout(p.local_access_us)
+            yield sim.sleep(p.local_access_us)
             rt.metrics.record_get("local", sim.now - t0)
             self._trace(thread, "get:local", t0)
             self._end(thread, op_id, "local", nbytes=nbytes)
             return array.read(index, nelems)
 
         if owner_node_id == thread.node.id:
-            yield sim.timeout(p.shm_access_us + p.copy_time(nbytes))
+            yield sim.sleep(p.shm_access_us + p.copy_time(nbytes))
             rt.metrics.record_get("shm", sim.now - t0)
             self._trace(thread, "get:shm", t0)
             self._end(thread, op_id, "shm", nbytes=nbytes)
@@ -142,7 +146,7 @@ class OpEngine:
         self._check_live(array)
         op_id = self._begin(thread, "get", bulk=True, parent=parent_op,
                             segments=len(segments))
-        yield sim.timeout(self.params.o_sw_us)
+        yield sim.sleep(self.params.o_sw_us)
         src = thread.node
         dst = rt.cluster.node(node_id)
         src.progress.enter_runtime()
@@ -168,7 +172,7 @@ class OpEngine:
             log.emit(sim.now, CACHE_LOOKUP, op=op_id, thread=thread.id,
                      node=src.id, target=dst.id, hit=base is not None)
         if cost:
-            yield sim.timeout(cost)
+            yield sim.sleep(cost)
 
         if base is not None:
             # Fast path (Figure 3b): address known, fire RDMA.
@@ -245,7 +249,7 @@ class OpEngine:
         if log.enabled:
             log.emit(sim.now, CACHE_SEED, op=op_id, node=src.id,
                      target=dst.id, handle=str(array.handle))
-        yield sim.timeout(cost)
+        yield sim.sleep(cost)
         if log.enabled and op_id >= 0 and cost > 0:
             log.emit(sim.now, PHASE, op=op_id, node=src.id,
                      comp=COMP_PIGGYBACK, dur=cost)
@@ -274,14 +278,14 @@ class OpEngine:
         self._check_live(array)
         self._check_one_owner(array, index, nelems)
         op_id = self._begin(thread, "put", index=index, nelems=nelems)
-        yield sim.timeout(p.o_sw_us)
+        yield sim.sleep(p.o_sw_us)
 
         owner_thread = array.owner_thread(index)
         owner_node_id = array.owner_node(index)
         nbytes = array.span_bytes(nelems)
 
         if owner_thread == thread.id:
-            yield sim.timeout(p.local_access_us)
+            yield sim.sleep(p.local_access_us)
             array.write(index, values)
             rt.metrics.record_put("local", sim.now - t0)
             self._trace(thread, "put:local", t0)
@@ -289,7 +293,7 @@ class OpEngine:
             return
 
         if owner_node_id == thread.node.id:
-            yield sim.timeout(p.shm_access_us + p.copy_time(nbytes))
+            yield sim.sleep(p.shm_access_us + p.copy_time(nbytes))
             array.write(index, values)
             rt.metrics.record_put("shm", sim.now - t0)
             self._trace(thread, "put:shm", t0)
@@ -326,7 +330,7 @@ class OpEngine:
         self._check_live(array)
         op_id = self._begin(thread, "put", bulk=True, parent=parent_op,
                             segments=len(pairs))
-        yield sim.timeout(self.params.o_sw_us)
+        yield sim.sleep(self.params.o_sw_us)
         src = thread.node
         dst = rt.cluster.node(node_id)
         src.progress.enter_runtime()
@@ -360,7 +364,7 @@ class OpEngine:
                          thread=thread.id, node=src.id, target=dst.id,
                          hit=base is not None)
             if cost:
-                yield sim.timeout(cost)
+                yield sim.sleep(cost)
             if base is not None:
                 ticket = yield from rt.cluster.transport.rdma_put(
                     src, dst, nbytes, op_id=op_id)
@@ -417,7 +421,7 @@ class OpEngine:
         rt = self.rt
 
         def _tail():
-            yield rt.sim.timeout(
+            yield rt.sim.sleep(
                 rt.cluster.topology.latency(dst.id, src.id))
             if array.freed:
                 # The object was deallocated while the ack was in

@@ -196,6 +196,10 @@ class Runtime:
 
         self.handles = HandleAllocator(config.nthreads)
         self.metrics = RuntimeMetrics()
+        # Progress engines report backlog peaks into the run metrics
+        # (see PollingProgress.enqueue / metrics.max_backlog).
+        for node in self.cluster.nodes:
+            node.progress.metrics = self.metrics
 
         # Fault plane + reliability layer.  An absent or *empty* plan
         # installs nothing — transport.faults stays None and every
@@ -322,7 +326,7 @@ class Runtime:
             value = build()
         else:
             value = None
-        yield self.sim.timeout(self.cluster.params.o_sw_us)
+        yield self.sim.sleep(self.cluster.params.o_sw_us)
         array = yield from self.broadcaster.bcast(thread, tag, value)
         return array
 
@@ -341,12 +345,12 @@ class Runtime:
         self.metrics.allocations += 1
         # Allocation bookkeeping + notification injection costs.
         p = self.cluster.params
-        yield self.sim.timeout(p.o_sw_us)
+        yield self.sim.sleep(p.o_sw_us)
         for node in self.cluster.nodes:
             if node.id != thread.node.id:
                 self.cluster.transport.am_oneway(thread.node, node,
                                                  p.ctrl_bytes)
-                yield self.sim.timeout(p.o_send_us * 0.25)
+                yield self.sim.sleep(p.o_send_us * 0.25)
         return array
 
     def all_alloc_matrix(self, thread: UPCThread, rows: int, cols: int,
@@ -366,7 +370,7 @@ class Runtime:
             return matrix
 
         value = build() if thread.id == 0 else None
-        yield self.sim.timeout(self.cluster.params.o_sw_us)
+        yield self.sim.sleep(self.cluster.params.o_sw_us)
         matrix = yield from self.broadcaster.bcast(thread, tag, value)
         return matrix
 
@@ -379,7 +383,7 @@ class Runtime:
         array = SharedArray(self, handle, layout, dt, owner=thread.id)
         self._install_everywhere(array)
         self.metrics.allocations += 1
-        yield self.sim.timeout(self.cluster.params.o_sw_us)
+        yield self.sim.sleep(self.cluster.params.o_sw_us)
         return array
 
     def all_free(self, thread: UPCThread, array: SharedArray):
@@ -404,7 +408,7 @@ class Runtime:
             self.metrics.frees += 1
             return True
 
-        yield self.sim.timeout(self.cluster.params.o_sw_us)
+        yield self.sim.sleep(self.cluster.params.o_sw_us)
         yield from thread.fence()
         # Quiesce barrier: polls while waiting so other threads'
         # in-flight put handlers can still be serviced here.

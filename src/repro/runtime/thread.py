@@ -127,7 +127,7 @@ class UPCThread:
         if ticket is not None:
             # Completion acknowledgement back to the initiator.
             owner_node = array.owner_node(index)
-            yield rt.sim.timeout(
+            yield rt.sim.sleep(
                 rt.cluster.topology.latency(owner_node, self.node.id)
                 + rt.cluster.params.o_recv_us)
 
@@ -341,7 +341,7 @@ class UPCThread:
                     lambda n: (rt.cluster.params.svd_lookup_us, None, 0),
                     op_id=op_id)
             else:
-                yield rt.sim.timeout(rt.cluster.params.shm_access_us)
+                yield rt.sim.sleep(rt.cluster.params.shm_access_us)
             yield lck._res.acquire()
             lck._grant(self.id)
             rt.metrics.lock_acquires += 1
@@ -355,12 +355,12 @@ class UPCThread:
 
         def _go():
             if lck.owner_node != self.node.id:
-                yield rt.sim.timeout(rt.cluster.params.o_send_us)
-                yield rt.sim.timeout(
+                yield rt.sim.sleep(rt.cluster.params.o_send_us)
+                yield rt.sim.sleep(
                     rt.cluster.topology.latency(self.node.id,
                                                 lck.owner_node))
             else:
-                yield rt.sim.timeout(rt.cluster.params.shm_access_us)
+                yield rt.sim.sleep(rt.cluster.params.shm_access_us)
             lck._release(self.id)
             lck._res.release()
 
@@ -381,7 +381,7 @@ class UPCThread:
         if usec > 0:
             t0 = self.runtime.sim.now
             op_id = self._span_begin("compute")
-            yield self.runtime.sim.timeout(usec)
+            yield self.runtime.sim.sleep(usec)
             tracer = self.runtime.config.tracer
             if tracer is not None:
                 tracer.record(self.id, "compute", t0, self.runtime.sim.now)
@@ -391,7 +391,7 @@ class UPCThread:
         """An explicit runtime tick (``upc_poll``-alike): lets queued
         handlers run on polling transports."""
         self.node.progress.poll()
-        yield self.runtime.sim.timeout(0.1)
+        yield self.runtime.sim.sleep(0.1)
 
     # -- iteration ------------------------------------------------------------
 

@@ -108,14 +108,65 @@ class Event:
     def _process(self) -> None:
         """Called by the simulator when popped from the heap."""
         self._status = PROCESSED
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        if callbacks:
+            # Iterate then clear in place: a callback registered while
+            # the event is PROCESSED runs immediately (add_callback),
+            # so the list cannot grow under us, and reusing it avoids
+            # one list allocation per dispatched event.
+            for fn in callbacks:
+                fn(self)
+            callbacks.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = {PENDING: "pending", SCHEDULED: "scheduled", PROCESSED: "done"}
         label = self.name or type(self).__name__
         return f"<{label} {state[self._status]} at t={self.sim.now:.3f}>"
+
+
+class _PooledEvent(Event):
+    """A kernel-recycled one-shot event (see ``Simulator.sleep``).
+
+    Instances are created only by the simulator's free list and are
+    returned to it by the dispatch loop right after :meth:`_process`
+    runs.  The contract: nothing may retain a reference to a pooled
+    event past its callbacks — which holds for the internal inline
+    ``yield sim.sleep(...)`` wait points and for resource grants,
+    where the sole waiter is resumed during processing.  Public
+    factories (``sim.timeout()`` / ``sim.event()``) never pool, so
+    user code that stores events keeps the old lifetime guarantees.
+
+    Because the sole-waiter contract means these events almost always
+    carry exactly one callback, the first subscriber lands in the
+    ``_cb`` slot (no list append/iterate/clear per event); any extra
+    subscribers overflow into the inherited list.
+    """
+
+    __slots__ = ("_cb",)
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        Event.__init__(self, sim, name)
+        self._cb: Optional[Callable[["Event"], None]] = None
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._status == PROCESSED:
+            fn(self)
+        elif self._cb is None:
+            self._cb = fn
+        else:
+            self._callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._status = PROCESSED
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
+            cb(self)
+        callbacks = self._callbacks
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+            callbacks.clear()
 
 
 class Timeout(Event):

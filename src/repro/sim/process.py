@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.sim.errors import ProcessKilled, SimulationError
-from repro.sim.event import Event
+from repro.sim.event import Event, _PooledEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.simulator import Simulator
@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Process(Event):
     """A running generator; completes when the generator returns."""
 
-    __slots__ = ("_gen", "_waiting_on", "_started")
+    __slots__ = ("_gen", "_send", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         if not hasattr(gen, "send"):
@@ -38,13 +38,21 @@ class Process(Event):
             )
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Event | None = None
-        self._started = False
+        # The bound send is the single hottest callable in the kernel
+        # (once per dispatched event); bind it exactly once.
+        self._send = gen.send
+        # One bound method for every wakeup instead of a fresh bound
+        # object per yielded event.
+        self._resume_cb = self._resume
         # First step happens via a zero-delay event so that spawning is
         # itself an observable point in time and spawn order == run order.
-        kick = Event(sim, name=f"start:{self.name}")
-        kick.add_callback(self._resume)
-        kick.succeed()
+        if sim.pooled:
+            kick = sim.sleep(0.0)
+            kick.add_callback(self._resume_cb)
+        else:
+            kick = Event(sim, name=f"start:{self.name}")
+            kick.add_callback(self._resume_cb)
+            kick.succeed()
 
     @property
     def is_alive(self) -> bool:
@@ -59,23 +67,20 @@ class Process(Event):
     # -- driving ------------------------------------------------------
 
     def _resume(self, ev: Event) -> None:
-        if self.triggered:
+        # Runs once per dispatched event — this *is* the hot path, so
+        # the success case of _step is inlined here: property reads
+        # become raw slot checks and add_callback becomes a direct
+        # list append on the target.
+        if self._status:
             # The process died (e.g. kill()) while this event was in
             # flight; drop the stale wakeup.
             return
-        self._waiting_on = None
-        if ev.ok:
-            self._step(ev._value, None)
-        else:
-            self._step(None, ev.exception)
-
-    def _step(self, value: Any, exc: BaseException | None) -> None:
-        self._started = True
+        exc = ev._exc
+        if exc is not None:
+            self._step(None, exc)
+            return
         try:
-            if exc is None:
-                target = self._gen.send(value)
-            else:
-                target = self._gen.throw(exc)
+            target = self._send(ev._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -88,10 +93,44 @@ class Process(Event):
                                    f"t={self.sim.now:.3f}]")
             self.fail(err)
             return
+        try:
+            status = target._status
+        except AttributeError:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Events (use 'yield from' for sub-generators)"
+            ) from None
+        if status == 2:  # PROCESSED: late subscriber, resume immediately
+            self._resume(target)
+        elif target.__class__ is _PooledEvent and target._cb is None:
+            target._cb = self._resume_cb
+        else:
+            target._callbacks.append(self._resume_cb)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        """Cold-path drive: failure delivery and kill()."""
+        try:
+            if exc is None:
+                target = self._gen.send(value)
+            else:
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as pk:
+            self.fail(pk)
+            return
+        except BaseException as err:
+            err.args = (*err.args, f"[in sim process {self.name!r} at "
+                                   f"t={self.sim.now:.3f}]")
+            self.fail(err)
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may "
                 "only yield Events (use 'yield from' for sub-generators)"
             )
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._status == 2:
+            self._resume(target)
+        else:
+            target._callbacks.append(self._resume_cb)

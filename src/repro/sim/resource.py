@@ -40,7 +40,7 @@ class Resource:
 
     __slots__ = ("sim", "capacity", "name", "_users", "_waiters",
                  "_busy_integral", "_last_change", "wait_stats",
-                 "acquisitions")
+                 "acquisitions", "_acq_name")
 
     def __init__(self, sim: "Simulator", capacity: int = 1,
                  name: str = "resource") -> None:
@@ -49,6 +49,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acq_name = "acquire:" + name
         self._users = 0
         self._waiters: Deque[tuple[Event, float]] = deque()
         self._busy_integral = 0.0
@@ -83,8 +84,18 @@ class Resource:
     # -- protocol -----------------------------------------------------
 
     def acquire(self) -> Event:
-        """Returns an event that fires when a slot is granted."""
-        ev = Event(self.sim, name=f"acquire:{self.name}")
+        """Returns an event that fires when a slot is granted.
+
+        The grant event comes from the simulator's free list in pooled
+        mode: its only consumers (the acquiring process and the FIFO
+        in :meth:`release`) drop their references once it fires, so
+        recycling after dispatch is safe.
+        """
+        sim = self.sim
+        if sim.pooled:
+            ev = sim.oneshot(self._acq_name)
+        else:
+            ev = Event(sim, name=f"acquire:{self.name}")
         if self._users < self.capacity and not self._waiters:
             self._account()
             self._users += 1
@@ -143,7 +154,11 @@ class Queue:
 
     def get(self) -> Event:
         """Event that fires with the next item."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        sim = self.sim
+        if sim.pooled:
+            ev = sim.oneshot("get:" + self.name)
+        else:
+            ev = Event(sim, name=f"get:{self.name}")
         if self._items:
             ev.succeed(self._items.popleft())
         else:

@@ -3,40 +3,143 @@
 Times are floats in microseconds.  Events scheduled for the same time
 are processed in schedule order (a monotonically increasing sequence
 number breaks heap ties), which makes runs fully deterministic.
+
+Two interchangeable cores live behind the same API:
+
+``Simulator(pooled=True)`` (the default)
+    The fast core.  Heap entries are mutable ``[time, seq, event]``
+    records drawn from a free list (no per-event tuple allocation, but
+    still C-speed lexicographic comparison), zero-delay events bypass
+    the heap entirely through a FIFO *fast lane* (a deque), and
+    kernel-internal wait points reuse ``_PooledEvent`` objects from a
+    free list instead of allocating a ``Timeout`` per message hop.
+
+``Simulator(pooled=False)``
+    The legacy core: immutable tuple heap entries, no lane, no object
+    reuse, eager event names.  Kept as the reference implementation —
+    the benchmark harness and the determinism tests run both cores on
+    identical workloads and require bit-identical schedules.
+
+Determinism is preserved because dispatch order is *exactly* the total
+order on ``(time, seq)`` in both cores: the fast lane only ever holds
+entries whose time equals ``now`` (a zero delay cannot point into the
+future, and the lane drains before the clock advances), so the next
+event is the lane head unless the heap top carries the same timestamp
+with a smaller sequence number.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError
-from repro.sim.event import Event, Timeout
+from repro.sim.event import PENDING, SCHEDULED, Event, Timeout, _PooledEvent
 from repro.sim.process import Process
 
 
 class Simulator:
     """Owns the clock and the pending-event heap."""
 
-    __slots__ = ("now", "_heap", "_seq", "_nevents")
+    __slots__ = ("now", "_heap", "_seq", "_nevents", "pooled",
+                 "_lane", "_entry_pool", "_event_pool")
 
-    def __init__(self) -> None:
+    def __init__(self, pooled: bool = True) -> None:
         #: Current virtual time in microseconds.
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Any] = []
         self._seq = 0
         #: Total number of events processed (exposed for perf metrics).
         self._nevents = 0
+        #: Fast core (pooled entries/events + zero-delay lane) when
+        #: True; the legacy tuple-heap core when False.
+        self.pooled = pooled
+        # Zero-delay fast lane: entries scheduled with delay == 0 at
+        # the current clock value, dispatched FIFO without touching
+        # the heap.  Always empty in legacy mode.
+        self._lane: Any = deque()
+        # Free lists: recycled [t, seq, event] heap records and
+        # recycled kernel-internal events.
+        self._entry_pool: List[list] = []
+        self._event_pool: List[_PooledEvent] = []
 
     # -- factories ----------------------------------------------------
 
     def event(self, name: str = "") -> Event:
-        """A fresh pending event."""
+        """A fresh pending event (never pooled — safe to retain)."""
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
-        """An event firing ``delay`` microseconds from now."""
+        """An event firing ``delay`` microseconds from now.
+
+        Public factory: the returned event is never recycled, so
+        callers may store it and read ``.value`` after the run.  The
+        kernel-internal equivalent is :meth:`sleep`.
+        """
         return Timeout(self, delay, value=value, name=name)
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A pooled one-shot timer for inline ``yield`` wait points.
+
+        Contract: the caller must not retain the event past its
+        callbacks — it is recycled by the dispatch loop immediately
+        after processing.  Every ``yield sim.sleep(x)`` in the runtime
+        and network layers satisfies this (the yielding process is the
+        only waiter).  In legacy mode this degrades to a plain
+        :class:`Timeout` so both cores see the same schedule.
+        """
+        if not self.pooled:
+            return Timeout(self, delay, value=value)
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._status = SCHEDULED
+            ev._value = value
+            ev._exc = None
+        else:
+            ev = _PooledEvent(self, name="sleep")
+            ev._status = SCHEDULED
+            ev._value = value
+        # Scheduling inlined (this is the hottest factory in the
+        # kernel): identical to _schedule's pooled branch.
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._seq + 1
+        self._seq = seq
+        epool = self._entry_pool
+        if epool:
+            entry = epool.pop()
+            entry[0] = self.now + delay
+            entry[1] = seq
+            entry[2] = ev
+        else:
+            entry = [self.now + delay, seq, ev]
+        if delay == 0.0:
+            self._lane.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return ev
+
+    def oneshot(self, name: str = "") -> Event:
+        """A pooled PENDING event for kernel wait points.
+
+        Same recycling contract as :meth:`sleep`, for events whose
+        outcome is decided later by a third party (resource grants,
+        progress-engine wakeups).  Legacy mode returns a plain
+        :class:`Event`.
+        """
+        if not self.pooled:
+            return Event(self, name=name)
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._status = PENDING
+            ev._value = None
+            ev._exc = None
+            ev.name = name
+            return ev
+        return _PooledEvent(self, name=name)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Spawn a process around generator ``gen``; starts at ``now``."""
@@ -48,7 +151,21 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if self.pooled:
+            pool = self._entry_pool
+            if pool:
+                entry = pool.pop()
+                entry[0] = self.now + delay
+                entry[1] = self._seq
+                entry[2] = event
+            else:
+                entry = [self.now + delay, self._seq, event]
+            if delay == 0.0:
+                self._lane.append(entry)
+            else:
+                heapq.heappush(self._heap, entry)
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     # -- execution ----------------------------------------------------
 
@@ -56,18 +173,48 @@ class Simulator:
     def events_processed(self) -> int:
         return self._nevents
 
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events (heap + lane)."""
+        return len(self._heap) + len(self._lane)
+
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none."""
+        if self._lane:
+            # Lane entries always sit at ``now``; the heap can only be
+            # at ``now`` or later, so the lane head's time is minimal.
+            return self._lane[0][0]
         return self._heap[0][0] if self._heap else float("inf")
+
+    def _next_entry(self) -> Any:
+        """Pop the globally minimum ``(t, seq)`` entry (lane + heap)."""
+        lane = self._lane
+        if lane:
+            entry = lane[0]
+            heap = self._heap
+            if heap:
+                top = heap[0]
+                # Lane entries are at t == now; a heap entry wins only
+                # when it shares the timestamp with a smaller seq.
+                if top[0] <= entry[0] and top[1] < entry[1]:
+                    return heapq.heappop(heap)
+            return lane.popleft()
+        return heapq.heappop(self._heap)
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        if not (self._heap or self._lane):
             raise SimulationError("step() on an empty event queue")
-        t, _, event = heapq.heappop(self._heap)
-        self.now = t
+        entry = self._next_entry()
+        self.now = entry[0]
         self._nevents += 1
+        event = entry[2]
+        if self.pooled:
+            entry[2] = None
+            self._entry_pool.append(entry)
         event._process()
+        if event.__class__ is _PooledEvent:
+            self._event_pool.append(event)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -77,21 +224,103 @@ class Simulator:
         When stopping at ``until`` the clock is advanced to exactly
         ``until`` even if no event sits there.
         """
+        if self.pooled:
+            if until is None and max_events is None:
+                self._run_fast()
+                return
+            budget = max_events if max_events is not None else -1
+            while self._heap or self._lane:
+                t = self.peek()
+                if until is not None and t > until:
+                    self.now = until
+                    return
+                if budget == 0:
+                    raise SimulationError(
+                        f"max_events exhausted: {self._nevents} events "
+                        f"processed, next event pending at t={t:.3f}"
+                    )
+                budget -= 1
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+            return
+        # Legacy core: tuple heap, no lane.  The loop body mirrors the
+        # original step-per-event dispatch so benchmark comparisons
+        # against the unpooled core measure the historical cost.
         budget = max_events if max_events is not None else -1
-        while self._heap:
-            t = self._heap[0][0]
+        heap = self._heap
+        while heap:
+            t = heap[0][0]
             if until is not None and t > until:
                 self.now = until
                 return
             if budget == 0:
                 raise SimulationError(
-                    f"max_events exhausted at t={self.now:.3f} "
-                    f"({self._nevents} events processed)"
+                    f"max_events exhausted: {self._nevents} events "
+                    f"processed, next event pending at t={t:.3f}"
                 )
             budget -= 1
-            self.step()
+            entry = heapq.heappop(heap)
+            self.now = entry[0]
+            self._nevents += 1
+            entry[2]._process()
         if until is not None and self.now < until:
             self.now = until
+
+    def _run_fast(self) -> None:
+        """Drain the queue with no until/budget checks (the hot loop).
+
+        Everything is inlined: lane-vs-heap merge, entry recycling and
+        event recycling happen without method-call overhead.  Dispatch
+        order is identical to repeated :meth:`step` calls.
+        """
+        lane = self._lane
+        heap = self._heap
+        entry_pool = self._entry_pool
+        entry_push = entry_pool.append
+        event_push = self._event_pool.append
+        pop = heapq.heappop
+        pooled_cls = _PooledEvent
+        lane_popleft = lane.popleft
+        lane_appendleft = lane.appendleft
+        n = 0
+        try:
+            while True:
+                if lane:
+                    entry = lane_popleft()
+                    if heap:
+                        top = heap[0]
+                        if top[0] <= entry[0] and top[1] < entry[1]:
+                            lane_appendleft(entry)
+                            entry = pop(heap)
+                elif heap:
+                    entry = pop(heap)
+                else:
+                    return
+                self.now = entry[0]
+                n += 1
+                ev = entry[2]
+                entry[2] = None
+                entry_push(entry)
+                # _process inlined for both event shapes (one method
+                # call per event is real money at 10^6 events/s);
+                # semantics identical to Event._process.
+                if ev.__class__ is pooled_cls:
+                    ev._status = 2  # PROCESSED
+                    cb = ev._cb
+                    if cb is not None:
+                        ev._cb = None
+                        cb(ev)
+                    callbacks = ev._callbacks
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(ev)
+                        callbacks.clear()
+                    event_push(ev)
+                else:
+                    ev._process()
+        finally:
+            self._nevents += n
 
     def run_process(self, gen: Generator, name: str = "",
                     max_events: Optional[int] = None) -> Any:
@@ -111,4 +340,5 @@ class Simulator:
         return proc.value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"
+        return (f"<Simulator t={self.now:.3f} "
+                f"pending={len(self._heap) + len(self._lane)}>")

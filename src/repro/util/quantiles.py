@@ -10,6 +10,7 @@ Field pathology need (the median-vs-max contrast of §4.6's trace).
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 
@@ -36,7 +37,11 @@ class P2Quantile:
             self._n.append(x)
             if len(self._n) == 5:
                 self._n.sort()
-                self._heights = list(self._n)
+                self._heights = self._n
+                # The seed buffer becomes the marker heights; drop the
+                # extra reference so each tracker carries exactly one
+                # five-element list from here on.
+                self._n = []
                 self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
                 self._desired = [1.0, 1.0 + 2.0 * self.q,
                                  1.0 + 4.0 * self.q, 3.0 + 2.0 * self.q,
@@ -87,13 +92,20 @@ class P2Quantile:
 
     @property
     def value(self) -> float:
-        """Current estimate (exact for < 5 samples)."""
+        """Current estimate (exact for < 5 samples).
+
+        The small-sample path uses an explicit **ceil-rank** rule:
+        the estimate is ``data[ceil(q * (n - 1))]``.  Banker's
+        rounding (``round``) would send e.g. the p50 of two samples to
+        the *lower* one and the p95 of four samples to the 3rd — the
+        upper tail must never round down.
+        """
         if self.count == 0:
             return 0.0
         if len(self._heights) < 5:
             data = sorted(self._n)
             idx = min(len(data) - 1,
-                      max(0, round(self.q * (len(data) - 1))))
+                      max(0, math.ceil(self.q * (len(data) - 1))))
             return data[idx]
         return self._heights[2]
 

@@ -41,6 +41,10 @@ class DISBase:
     #: :mod:`repro.faults` and docs/FAULTS.md).
     fault_plan: Optional[Any] = None
     reliability: Optional[Any] = None
+    #: Event-core selection: True runs the pooled fast core, False the
+    #: legacy reference core (see repro.sim.simulator).  Schedules are
+    #: bit-identical; benchmarks flip this to measure the speedup.
+    pooled_core: bool = True
 
     def runtime(self) -> Runtime:
         cfg = RuntimeConfig(
@@ -63,7 +67,8 @@ class DISBase:
             fault_plan=self.fault_plan,
             reliability=self.reliability,
         )
-        return Runtime(cfg)
+        from repro.sim.simulator import Simulator
+        return Runtime(cfg, sim=Simulator(pooled=self.pooled_core))
 
 
 @dataclass

@@ -88,6 +88,52 @@ def test_poll_tick_wakes_waiting_handlers_once():
     assert served == [pytest.approx(10.0 + GM_TRANSPORT.dispatch_us)]
 
 
+def test_backlog_transitions_recorded_between_poll_ticks():
+    """The §4.6 backlog builds and drains entirely *between* sampler
+    ticks; the progress engine must push every enqueue/drain edge the
+    moment it happens, and track the peak."""
+    sim, node = make_node(GM_TRANSPORT)
+    edges = []
+
+    class _Sampler:
+        def backlog_transition(self, node_id, depth):
+            edges.append((sim.now, node_id, depth))
+
+    class _Metrics:
+        max_backlog = 0
+
+    node.progress.sampler = _Sampler()
+    metrics = _Metrics()
+    node.progress.metrics = metrics
+
+    def handler():
+        yield from node.progress.service()
+
+    def app():
+        yield sim.timeout(20.0)      # long compute slice, no polling
+        node.progress.enter_runtime()
+
+    sim.process(handler())
+    sim.process(handler())
+    sim.process(app())
+    sim.run()
+    # Two enqueues while nobody polled, then the single drain edge.
+    assert [d for _, _, d in edges] == [1, 2, 0]
+    assert all(nid == 0 for _, nid, _ in edges)
+    assert edges[0][0] < 20.0 and edges[1][0] < 20.0
+    assert node.progress.max_backlog == 2
+    assert metrics.max_backlog == 2
+
+
+def test_max_backlog_reaches_metrics_summary():
+    from repro.runtime.metrics import RuntimeMetrics
+
+    m = RuntimeMetrics()
+    assert m.summary()["max_backlog"] == 0
+    m.max_backlog = 7
+    assert m.summary()["max_backlog"] == 7
+
+
 def test_leave_without_enter_rejected():
     _, node = make_node(GM_TRANSPORT)
     with pytest.raises(RuntimeError):

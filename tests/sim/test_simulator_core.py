@@ -1,0 +1,169 @@
+"""Dual-core simulator tests: the pooled fast core against the legacy
+reference core, plus the max_events exhaustion-report regression."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.event import Event, Timeout, _PooledEvent
+
+
+BOTH_CORES = pytest.mark.parametrize("pooled", [True, False],
+                                     ids=["pooled", "legacy"])
+
+
+# ---------------------------------------------------------------------------
+# max_events exhaustion must report the *pending* event's time
+# ---------------------------------------------------------------------------
+
+@BOTH_CORES
+def test_max_events_reports_pending_event_time(pooled):
+    sim = Simulator(pooled=pooled)
+    for t in (5.0, 10.0, 15.0):
+        sim.timeout(t)
+    with pytest.raises(SimulationError) as exc:
+        sim.run(max_events=2)
+    msg = str(exc.value)
+    # Two events were processed; the third (t=15) is the one that the
+    # budget refused — the report must carry *its* time, not the
+    # previous step's clock.
+    assert "2 events processed" in msg
+    assert "t=15.000" in msg
+    assert sim.now == 10.0
+
+
+@BOTH_CORES
+def test_max_events_budget_exactly_sufficient(pooled):
+    sim = Simulator(pooled=pooled)
+    for t in (1.0, 2.0):
+        sim.timeout(t)
+    sim.run(max_events=2)          # no error: the budget covers it
+    assert sim.events_processed == 2
+    assert sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical schedules across the two cores
+# ---------------------------------------------------------------------------
+
+def _mixed_workload(sim, trace):
+    """Ties, zero delays, resource-style wakeups — the order-sensitive
+    shapes the fast lane and the entry pool must not reorder."""
+
+    def worker(tag, delays):
+        for i, d in enumerate(delays):
+            yield sim.sleep(d)
+            trace.append((sim.now, tag, i))
+
+    sim.process(worker("a", [1.0, 0.0, 0.0, 2.0, 0.0]))
+    sim.process(worker("b", [1.0, 0.0, 1.0, 1.0]))
+    sim.process(worker("c", [0.0, 1.0, 0.0, 3.0]))
+    sim.process(worker("d", [2.0, 0.0, 0.0, 0.0, 0.0]))
+
+
+def test_pooled_and_legacy_schedules_identical():
+    traces = []
+    for pooled in (True, False):
+        sim = Simulator(pooled=pooled)
+        trace = []
+        _mixed_workload(sim, trace)
+        sim.run()
+        traces.append((trace, sim.events_processed, sim.now))
+    assert traces[0] == traces[1]
+
+
+def test_lane_does_not_preempt_same_time_heap_entry():
+    """A zero-delay event scheduled *while processing* t=5 must run
+    after heap entries already queued for t=5 with smaller seq."""
+    for pooled in (True, False):
+        sim = Simulator(pooled=pooled)
+        order = []
+        a = sim.timeout(5.0)                       # seq 1, heap
+        b = sim.timeout(5.0)                       # seq 2, heap
+
+        def on_a(ev):
+            order.append("a")
+            c = sim.timeout(0.0)                   # lane in pooled mode
+            c.add_callback(lambda _: order.append("c"))
+
+        a.add_callback(on_a)
+        b.add_callback(lambda _: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"], f"pooled={pooled}: {order}"
+
+
+# ---------------------------------------------------------------------------
+# Pooling mechanics
+# ---------------------------------------------------------------------------
+
+def test_sleep_events_are_recycled():
+    sim = Simulator(pooled=True)
+    ev1 = sim.sleep(1.0)
+    assert type(ev1) is _PooledEvent
+    sim.run()
+    # The processed timer went back to the free list; the next sleep
+    # must reuse the same object instead of allocating.
+    ev2 = sim.sleep(1.0)
+    assert ev2 is ev1
+
+
+def test_public_factories_never_pool():
+    sim = Simulator(pooled=True)
+    to = sim.timeout(1.0, value=42)
+    ev = sim.event("keep-me")
+    assert type(to) is Timeout
+    assert type(ev) is Event
+    sim.run()
+    # Safe to read after the run — public events are never recycled.
+    assert to.value == 42
+    assert not ev.triggered
+
+
+def test_legacy_mode_never_pools():
+    sim = Simulator(pooled=False)
+    assert type(sim.sleep(1.0)) is Timeout
+    assert type(sim.oneshot("x")) is Event
+    sim.run()
+    assert not sim._event_pool
+    assert not sim._entry_pool
+
+
+def test_pooled_event_sole_waiter_slot_then_overflow():
+    """First subscriber lands in the _cb slot; extras overflow to the
+    list; all run in subscription order."""
+    sim = Simulator(pooled=True)
+    got = []
+    ev = sim.sleep(1.0, value="v")
+    ev.add_callback(lambda e: got.append(("first", e._value)))
+    ev.add_callback(lambda e: got.append(("second", e._value)))
+    sim.run()
+    assert got == [("first", "v"), ("second", "v")]
+
+
+# ---------------------------------------------------------------------------
+# peek / pending with the fast lane
+# ---------------------------------------------------------------------------
+
+def test_peek_and_pending_see_the_lane():
+    sim = Simulator(pooled=True)
+    assert sim.pending == 0
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+    ev = sim.oneshot("grant")
+    ev.succeed()                       # zero delay -> fast lane
+    assert sim.pending == 2
+    assert sim.peek() == 0.0           # the lane entry is at now
+    sim.step()
+    assert ev.processed
+    assert sim.pending == 1
+    assert sim.peek() == 3.0
+
+
+@BOTH_CORES
+def test_run_until_advances_clock(pooled):
+    sim = Simulator(pooled=pooled)
+    sim.timeout(2.0)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    assert sim.events_processed == 1

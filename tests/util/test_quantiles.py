@@ -1,10 +1,19 @@
 """Property and unit tests for the P² streaming quantile estimator."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.util.quantiles import LatencyDigest, P2Quantile
+
+
+def exact_small_sample(data, q):
+    """The ceil-rank rule the small-sample path must implement."""
+    data = sorted(data)
+    idx = min(len(data) - 1, max(0, math.ceil(q * (len(data) - 1))))
+    return data[idx]
 
 
 def test_quantile_validation():
@@ -20,6 +29,42 @@ def test_exact_for_few_samples():
     for x in (5.0, 1.0, 3.0):
         q.add(x)
     assert q.value == 3.0   # exact median of 3 samples
+
+
+def test_small_sample_uses_ceil_rank():
+    # p50 of two samples is the *upper* one: round-half-even would
+    # pick index round(0.5) == 0 (the regression this pins down).
+    q = P2Quantile(0.5)
+    q.add(1.0)
+    q.add(9.0)
+    assert q.value == 9.0
+    # p95 of four samples is the maximum (ceil(0.95 * 3) == 3);
+    # round-half-even sent it to the 3rd sample.
+    q = P2Quantile(0.95)
+    for x in (4.0, 1.0, 3.0, 2.0):
+        q.add(x)
+    assert q.value == 4.0
+
+
+def test_small_sample_matches_ceil_rank_rule_everywhere():
+    for n in (1, 2, 3, 4):
+        for qq in (0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            data = [float(7 * i % 5) for i in range(n)]
+            tracker = P2Quantile(qq)
+            for x in data:
+                tracker.add(x)
+            assert tracker.value == exact_small_sample(data, qq), (
+                f"n={n} q={qq}")
+
+
+def test_seed_buffer_released_after_marker_init():
+    q = P2Quantile(0.5)
+    for x in range(5):
+        q.add(float(x))
+    # Markers are live; the seed buffer must be dropped, not kept as a
+    # second five-element list per tracker.
+    assert len(q._heights) == 5
+    assert q._n == []
 
 
 def test_median_of_uniform_stream():
@@ -70,6 +115,42 @@ def test_property_reasonable_accuracy_on_normal(seed):
         q.add(float(x))
     true = float(np.quantile(data, 0.95))
     assert abs(q.value - true) < 5.0  # ~0.3 sigma tolerance
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(st.sampled_from([1, 2, 3, 4, 5, 7, 12, 33, 100, 470, 1000,
+                        4000, 10000]),
+       st.integers(0, 2**31 - 1))
+def test_property_digest_tracks_exact_quantiles(n, seed):
+    """LatencyDigest p50/p95/p99 vs exact sorted-array quantiles
+    across stream sizes 1..10_000.
+
+    Bands: exact ceil-rank below five samples (the pre-marker path);
+    within the observed range once markers are live; and within a
+    ±0.12-quantile bracket of the exact answer once the stream is
+    large enough for P² to have converged (n >= 33; measured worst
+    case across distributions is well inside that bracket)."""
+    rng = np.random.default_rng(seed)
+    if seed % 2:
+        data = rng.exponential(50.0, n)
+    else:
+        data = np.clip(rng.normal(100.0, 15.0, n), 0.0, None)
+    digest = LatencyDigest()
+    for x in data:
+        digest.add(float(x))
+    assert digest.count == n
+    for q, tracker in ((0.50, digest.p50), (0.95, digest.p95),
+                       (0.99, digest.p99)):
+        v = tracker.value
+        if n < 5:
+            assert v == exact_small_sample(data.tolist(), q)
+            continue
+        assert data.min() - 1e-9 <= v <= data.max() + 1e-9
+        if n >= 33:
+            lo = float(np.quantile(data, max(0.0, q - 0.12)))
+            hi = float(np.quantile(data, min(1.0, q + 0.12)))
+            assert lo - 1e-9 <= v <= hi + 1e-9, (
+                f"n={n} q={q}: {v} outside [{lo}, {hi}]")
 
 
 def test_latency_digest_bundle():
