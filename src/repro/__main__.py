@@ -129,7 +129,26 @@ def run_main(argv) -> int:
                          "file path")
     ap.add_argument("--fault-seed", type=int, default=None,
                     help="override the fault plan's RNG seed")
+    ap.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="run on the sharded PDES core with N shards "
+                         "(field only; one worker process per shard, "
+                         "see docs/PERFORMANCE.md)")
+    ap.add_argument("--shard-backend", default=None,
+                    choices=("mp", "inproc"),
+                    help="sharded-core backend (default: mp for N>1)")
     args = ap.parse_args(argv)
+
+    if args.shards is not None:
+        if args.workload != "field":
+            ap.error("--shards currently applies to the field "
+                     "stressmark only (the other stressmarks exercise "
+                     "full-runtime protocol paths that span shard "
+                     "boundaries; they run on the pooled core)")
+        if args.fault_profile is not None:
+            ap.error("--shards and --fault-profile are mutually "
+                     "exclusive (the fault plane lives in the pooled "
+                     "runtime's transport)")
+        return _run_sharded_field(args)
 
     fault_plan = None
     if args.fault_profile is not None:
@@ -158,6 +177,47 @@ def run_main(argv) -> int:
               f"{m.timeouts} timeouts, {m.retries} retries, "
               f"{m.rdma_timeouts} rdma->am fallbacks, "
               f"{m.pin_degrades} degraded handles")
+    return 0
+
+
+def _run_sharded_field(args) -> int:
+    """``python -m repro run field --shards N`` — the Field mix on the
+    sharded PDES core, with the per-shard metric rollups."""
+    from repro.runtime.metrics import RuntimeMetrics
+    from repro.workloads.sharded import field_nnodes, run_field_sharded
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    nnodes = field_nnodes(args.nthreads)
+    if args.shards > nnodes:
+        raise SystemExit(
+            f"--shards {args.shards} exceeds the {nnodes} node(s) of a "
+            f"{args.nthreads}-thread field run")
+    mode = args.shard_backend or ("inproc" if args.shards == 1 else "mp")
+    ntokens, probes = (3, 2) if args.quick else (8, 4)
+    t0 = time.time()
+    res = run_field_sharded(args.nthreads, args.shards,
+                            ntokens=ntokens, probes=probes,
+                            machine=args.machine, mode=mode)
+    run = res["run"]
+    metrics = RuntimeMetrics()
+    metrics.attach_shards(run.metrics)
+    s = metrics.shard_summary()
+    print(f"run field --shards {args.shards} ({mode}): "
+          f"{res['now']:.1f} virtual us, {run.events} sim events, "
+          f"{run.events_per_sec:,.0f} ev/s aggregate "
+          f"({time.time() - t0:.1f}s)")
+    print(f"  sync: {s['sync_rounds']} rounds, "
+          f"{s['sync_stall_grains']} stall grains, "
+          f"{s['channel_msgs']} cross-shard msgs, "
+          f"{s['channel_bytes']:,} channel bytes")
+    for m in run.metrics:
+        d = m.as_dict()
+        print(f"  shard {d['shard']}: nodes {d['nodes'][0]}.."
+              f"{d['nodes'][1] - 1}, {d['events']} events, "
+              f"backlog {d['max_backlog']}, "
+              f"clock {d['final_clock_us']:.1f} us, "
+              f"busy {d['busy_s']:.3f}s")
     return 0
 
 

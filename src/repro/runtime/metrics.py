@@ -8,9 +8,10 @@ execution-time improvements (Figures 6, 9), cache hit rates
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.stats import CacheStats
+from repro.sim.sync import ShardMetrics
 from repro.util.quantiles import LatencyDigest
 from repro.util.stats import RunningStats
 
@@ -76,6 +77,14 @@ class RuntimeMetrics:
     #: every enqueue transition, not just at sampler ticks.
     max_backlog: int = 0
 
+    #: Per-shard accounting when the run used the sharded PDES core
+    #: (``Simulator(shards=N)``); empty for pooled/legacy runs.
+    shards: List[ShardMetrics] = field(default_factory=list)
+
+    def attach_shards(self, shard_metrics: List[ShardMetrics]) -> None:
+        """Adopt the per-shard metrics of a sharded run."""
+        self.shards = list(shard_metrics)
+
     def record_get(self, kind: str, latency_us: float) -> None:
         if kind == "remote":
             self.get_remote.add(latency_us)
@@ -104,8 +113,42 @@ class RuntimeMetrics:
         n = self.remote_ops
         return (self.rdma_gets + self.rdma_puts) / n if n else 0.0
 
+    def shard_summary(self) -> Dict[str, float]:
+        """Rollups across shards, folded with the same
+        :class:`RunningStats` merge the latency paths use."""
+        ev = RunningStats()
+        ev.extend(s.events for s in self.shards)
+        stalls = RunningStats()
+        stalls.extend(s.stall_grains for s in self.shards)
+        backlog = RunningStats()
+        backlog.extend(s.max_backlog for s in self.shards)
+        return {
+            "shards": len(self.shards),
+            "shard_events_total": int(ev.total),
+            "shard_events_mean": ev.mean,
+            "shard_events_max": int(ev.max) if ev.n else 0,
+            "sync_rounds": max((s.grains for s in self.shards),
+                               default=0),
+            "sync_stall_grains": int(stalls.total),
+            "sync_stall_mean": stalls.mean,
+            "channel_bytes": sum(s.channel_bytes for s in self.shards),
+            "channel_msgs": sum(s.msgs_sent for s in self.shards),
+            "shard_max_backlog": int(backlog.max) if backlog.n else 0,
+            "shard_final_clock_us": max(
+                (s.final_clock_us for s in self.shards), default=0.0),
+        }
+
     def summary(self) -> Dict[str, float]:
         """Flat dict for table rendering."""
+        out = self._base_summary()
+        if self.shards:
+            out.update(self.shard_summary())
+            out["max_backlog"] = max(
+                int(out["max_backlog"]),
+                max(s.max_backlog for s in self.shards))
+        return out
+
+    def _base_summary(self) -> Dict[str, float]:
         return {
             "remote_gets": self.get_remote.n,
             "remote_get_mean_us": self.get_remote.mean,

@@ -1,0 +1,468 @@
+"""The sharded PDES core: N pooled event loops + conservative sync.
+
+``Simulator(shards=N)`` returns a :class:`ShardedSimulator`: the
+cluster's nodes are partitioned into ``N`` contiguous groups
+(:mod:`repro.network.partition`), each group simulated by its own
+pooled :class:`~repro.sim.simulator.Simulator` advancing under the
+barrier-window protocol of :mod:`repro.sim.sync`.  Two backends run
+the *identical* worker/coordinator code:
+
+``mode="mp"``
+    one OS process per shard (``multiprocessing``), reports and plans
+    carried over :class:`~repro.network.shard_channel.PipeChannel`s —
+    the throughput configuration on multi-core hosts;
+``mode="inproc"``
+    shards run round-robin in the calling interpreter — zero process
+    overhead, trivially debuggable, and the cross-check that virtual
+    time is independent of the transport.
+
+A *shard program* is a picklable builder ``builder(ctx, **params)``
+that populates a :class:`ShardContext` with simulated processes.  The
+context is the only doorway to other shards: ``ctx.send`` stamps every
+cross-shard message with ``send time + wire latency`` and *validates*
+the latency against the lookahead matrix, so conservative horizons are
+enforced, not assumed.  Full-runtime workloads (whose protocol
+generators span initiator and target node state) still run on the
+single pooled core — that core remains the determinism referee; the
+sharded core hosts workloads written against message-passing shard
+boundaries.
+
+Determinism contract: for a fixed shard count, results are bit
+identical between backends and across runs (delivery order is the
+total ``(arrival, src, seq)`` order; grains execute in shard order in
+inproc mode and are order-independent in mp mode because shards only
+interact at round boundaries).  Across *different* shard counts, a
+workload sees identical virtual-time behaviour provided its same-time
+cross-shard effects commute (the discipline all bundled workloads and
+the fuzz-corpus skeleton follow); the determinism suite asserts this
+for shards ∈ {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.network.shard_channel import ChannelClosed, PipeChannel
+from repro.sim.errors import SimulationError
+from repro.sim.event import Event
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.sync import (INF, BarrierPost, GrainPlan, ShardMessage,
+                            ShardMetrics, ShardReport, SyncCoordinator,
+                            SyncError, normalize_lookahead)
+
+#: Slack when validating send latencies against the lookahead matrix
+#: (floats only; latencies are exact sums of µs-scale model constants).
+_LAT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to instantiate its shard."""
+
+    shard_id: int
+    nshards: int
+    lookahead: Tuple[Tuple[float, ...], ...]
+
+
+@dataclass
+class ShardOutput:
+    """What a worker hands back after the final drain."""
+
+    shard: int
+    outputs: Dict[str, Any]
+    metrics: ShardMetrics
+    events: int
+    now: float
+
+
+@dataclass
+class ShardedRun:
+    """Aggregate result of :meth:`ShardedSimulator.run`."""
+
+    nshards: int
+    mode: str
+    #: Per-shard ``ctx.publish`` dictionaries, indexed by shard.
+    outputs: List[Dict[str, Any]]
+    metrics: List[ShardMetrics]
+    #: Total events across shards.
+    events: int
+    #: Final virtual clock (max over shards).
+    now: float
+    rounds: int
+    msgs_routed: int
+    wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class ShardContext:
+    """A shard program's handle on its local core and its neighbours."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.shard = spec.shard_id
+        self.nshards = spec.nshards
+        self.sim = Simulator(pooled=True)
+        self.metrics = ShardMetrics(shard=spec.shard_id)
+        self.outputs: Dict[str, Any] = {}
+        self._lookahead_row = spec.lookahead[spec.shard_id]
+        self._outbox: List[ShardMessage] = []
+        self._posts: List[BarrierPost] = []
+        self._handlers: Dict[str, Callable[[Any], None]] = {}
+        self._seq = 0
+        self._barrier_gates: Dict[str, Event] = {}
+        self._procs: List[Process] = []
+
+    # -- building -----------------------------------------------------
+
+    def set_nodes(self, lo: int, hi: int) -> None:
+        """Record the ``[lo, hi)`` node range this shard simulates
+        (metrics/reporting only — the context does not interpret node
+        numbers)."""
+        self.metrics.node_lo = lo
+        self.metrics.node_hi = hi
+
+    def spawn(self, gen, name: str = "") -> Process:
+        """Spawn a tracked simulated process.  Tracked processes are
+        checked at shutdown: one still alive after global termination
+        means the workload deadlocked (e.g. waiting on a reply that
+        never came), which is reported instead of silently dropped."""
+        proc = self.sim.process(gen, name=name)
+        self._procs.append(proc)
+        return proc
+
+    def on_message(self, kind: str,
+                   handler: Callable[[Any], None]) -> None:
+        """Register ``handler(payload)`` for incoming ``kind``
+        messages; it runs at the message's arrival time."""
+        if kind in self._handlers:
+            raise SimulationError(f"duplicate handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    def publish(self, key: str, value: Any) -> None:
+        """Export a (picklable) result; lands in ``ShardedRun.outputs``."""
+        self.outputs[key] = value
+
+    # -- messaging ----------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: Any = None, *,
+             latency: float, nbytes: int = 0) -> None:
+        """Send a message arriving at ``now + latency``.
+
+        ``latency`` models the one-way wire time and must be at least
+        the lookahead toward ``dst`` — that bound is what lets the
+        destination shard run ahead safely, so violating it is an
+        error, not a slowdown.  Same-shard destinations take the same
+        schedule-at-arrival path (no shortcut), keeping a workload's
+        event pattern invariant under re-partitioning.
+        """
+        if latency < 0:
+            raise SimulationError(f"negative send latency {latency}")
+        arrival = self.sim.now + latency
+        if dst == self.shard:
+            self._schedule_delivery(kind, payload, arrival)
+            return
+        if not 0 <= dst < self.nshards:
+            raise SimulationError(
+                f"send to unknown shard {dst} (nshards={self.nshards})")
+        la = self._lookahead_row[dst]
+        if latency + _LAT_EPS < la:
+            raise SyncError(
+                f"shard {self.shard}->{dst}: latency {latency:.6f} µs "
+                f"below lookahead {la:.6f} µs — the partition promised "
+                "no faster path exists; fix the lookahead matrix or the "
+                "workload's latency model")
+        self._seq += 1
+        self._outbox.append(ShardMessage(
+            arrival=arrival, dst=dst, kind=kind, src=self.shard,
+            seq=self._seq, nbytes=nbytes, payload=payload))
+        self.metrics.msgs_sent += 1
+
+    def _schedule_delivery(self, kind: str, payload: Any,
+                           arrival: float) -> None:
+        handler = self._handlers.get(kind)
+        if handler is None:
+            raise SimulationError(
+                f"shard {self.shard}: no handler for message {kind!r}")
+        delay = arrival - self.sim.now
+        if delay < 0:
+            raise SyncError(
+                f"shard {self.shard}: {kind!r} arrival {arrival:.6f} is "
+                f"in the past (now={self.sim.now:.6f}) — conservative "
+                "horizon violated")
+        ev = self.sim.sleep(delay, value=payload)
+        ev.add_callback(lambda e, h=handler: h(e._value))
+
+    # -- collectives --------------------------------------------------
+
+    def barrier_arrive(self, name: str, expected: int, cost: float,
+                       count: int = 1) -> Event:
+        """Arrive at global collective ``name`` and get the gate event
+        that fires at the coordinated release time (``max`` arrival
+        across all shards ``+ cost`` — the pooled core's counter
+        barrier semantics).  ``expected`` counts participants across
+        the whole run; names are one-shot (use a generation suffix for
+        repeated barriers)."""
+        gate = self._barrier_gates.get(name)
+        if gate is None:
+            gate = self.sim.event(name=f"shardbar:{name}")
+            self._barrier_gates[name] = gate
+        self._posts.append(BarrierPost(
+            name=name, count=count, t_last=self.sim.now,
+            expected=expected, cost=cost))
+        return gate
+
+    def _apply_release(self, name: str, t_rel: float) -> None:
+        gate = self._barrier_gates.pop(name, None)
+        if gate is None:
+            # No local participants — releases are broadcast.
+            return
+        delay = t_rel - self.sim.now
+        if delay < 0:
+            raise SyncError(
+                f"shard {self.shard}: release of {name!r} at "
+                f"{t_rel:.6f} is in the past (now={self.sim.now:.6f})")
+        gate.succeed(value=t_rel, delay=delay)
+
+    # -- worker internals ---------------------------------------------
+
+    def _take_outbox(self) -> List[ShardMessage]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def _take_posts(self) -> List[BarrierPost]:
+        posts, self._posts = self._posts, []
+        return posts
+
+    def _check_quiescent(self) -> None:
+        stuck = [p.name for p in self._procs if p.is_alive]
+        if stuck:
+            preview = ", ".join(stuck[:5])
+            raise SimulationError(
+                f"shard {self.shard}: {len(stuck)} process(es) still "
+                f"blocked after global termination ({preview}...) — "
+                "the workload deadlocked across shards")
+
+
+class ShardWorkerState:
+    """Grain executor — the same object drives both backends."""
+
+    def __init__(self, spec: ShardSpec, builder: Callable,
+                 params: Dict[str, Any]) -> None:
+        self.ctx = ShardContext(spec)
+        builder(self.ctx, **params)
+
+    def first_report(self) -> ShardReport:
+        ctx = self.ctx
+        return ShardReport(shard=ctx.shard, next_time=ctx.sim.peek(),
+                           sent=ctx._take_outbox(),
+                           barriers=ctx._take_posts())
+
+    def run_grain(self, plan: GrainPlan) -> ShardReport:
+        ctx = self.ctx
+        sim = ctx.sim
+        m = ctx.metrics
+        t0 = time.perf_counter()
+        for name, t_rel in plan.releases:
+            ctx._apply_release(name, t_rel)
+        for msg in plan.deliver:
+            m.msgs_recv += 1
+            ctx._schedule_delivery(msg.kind, msg.payload, msg.arrival)
+        backlog = sim.pending
+        if backlog > m.max_backlog:
+            m.max_backlog = backlog
+        n = sim.run_before(plan.horizon)
+        m.grains += 1
+        m.events += n
+        if n == 0:
+            m.stall_grains += 1
+        m.busy_s += time.perf_counter() - t0
+        return ShardReport(shard=ctx.shard, next_time=sim.peek(),
+                           sent=ctx._take_outbox(),
+                           barriers=ctx._take_posts(), events=n)
+
+    def finish(self) -> ShardOutput:
+        ctx = self.ctx
+        ctx._check_quiescent()
+        ctx.metrics.final_clock_us = ctx.sim.now
+        return ShardOutput(shard=ctx.shard, outputs=ctx.outputs,
+                           metrics=ctx.metrics,
+                           events=ctx.sim.events_processed,
+                           now=ctx.sim.now)
+
+
+def _worker_main(conn, spec: ShardSpec, builder: Callable,
+                 params: Dict[str, Any]) -> None:
+    """Child-process entry point of the mp backend."""
+    channel = PipeChannel(conn)
+    try:
+        state = ShardWorkerState(spec, builder, params)
+        channel.send(("report", state.first_report()))
+        while True:
+            tag, body = channel.recv()
+            if tag == "finish":
+                channel.send(("output", state.finish()))
+                return
+            if tag != "plan":  # pragma: no cover - protocol guard
+                raise SyncError(f"worker got unexpected {tag!r}")
+            channel.send(("report", state.run_grain(body)))
+    except BaseException:
+        try:
+            channel.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        channel.close()
+
+
+class ShardedError(SimulationError):
+    """A shard worker died; carries its traceback."""
+
+
+class ShardedSimulator:
+    """Coordinator over ``nshards`` conservative shard workers.
+
+    Not a :class:`Simulator` subclass on purpose: it has no single
+    clock or heap, and every capability it offers goes through
+    :meth:`run`.  Constructed directly or via ``Simulator(shards=N)``.
+    """
+
+    def __init__(self, nshards: int, lookahead=None, mode: str = "mp",
+                 mp_context: Optional[str] = None) -> None:
+        if nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {nshards}")
+        if mode not in ("mp", "inproc"):
+            raise ValueError(f"unknown shard backend {mode!r}")
+        self.nshards = nshards
+        self.mode = mode
+        self.lookahead = lookahead
+        if mp_context is None:
+            mp_context = ("fork" if "fork"
+                          in multiprocessing.get_all_start_methods()
+                          else "spawn")
+        self.mp_context = mp_context
+        self.last_run: Optional[ShardedRun] = None
+
+    # -- entry point --------------------------------------------------
+
+    def run(self, builder: Callable, params: Optional[Dict[str, Any]] = None,
+            *, lookahead=None) -> ShardedRun:
+        """Build every shard with ``builder(ctx, **params)`` and drive
+        the synchronization rounds to global termination."""
+        params = dict(params or {})
+        la = lookahead if lookahead is not None else self.lookahead
+        if la is None:
+            raise SyncError(
+                "a lookahead (scalar µs or SxS matrix) is required: "
+                "derive one with repro.network.partition.lookahead_matrix")
+        matrix = normalize_lookahead(la, self.nshards)
+        frozen = tuple(tuple(row) for row in matrix)
+        specs = [ShardSpec(shard_id=i, nshards=self.nshards,
+                           lookahead=frozen)
+                 for i in range(self.nshards)]
+        coord = SyncCoordinator(matrix, self.nshards)
+        t0 = time.perf_counter()
+        if self.mode == "inproc" or self.nshards == 1:
+            outputs = self._drive_inproc(coord, specs, builder, params)
+        else:
+            outputs = self._drive_mp(coord, specs, builder, params)
+        wall = time.perf_counter() - t0
+        outputs.sort(key=lambda o: o.shard)
+        for out in outputs:
+            out.metrics.channel_bytes = coord.channel_bytes[out.shard]
+        run = ShardedRun(
+            nshards=self.nshards, mode=self.mode,
+            outputs=[o.outputs for o in outputs],
+            metrics=[o.metrics for o in outputs],
+            events=sum(o.events for o in outputs),
+            now=max((o.now for o in outputs), default=0.0),
+            rounds=coord.rounds, msgs_routed=coord.msgs_routed,
+            wall_s=wall)
+        self.last_run = run
+        return run
+
+    # -- backends -----------------------------------------------------
+
+    def _drive_inproc(self, coord, specs, builder, params):
+        workers = [ShardWorkerState(spec, builder, params)
+                   for spec in specs]
+        reports = [w.first_report() for w in workers]
+        while True:
+            plans = coord.round(reports)
+            if plans[0].done:
+                return [w.finish() for w in workers]
+            reports = [w.run_grain(plan)
+                       for w, plan in zip(workers, plans)]
+
+    def _drive_mp(self, coord, specs, builder, params):
+        ctx = multiprocessing.get_context(self.mp_context)
+        channels: List[PipeChannel] = []
+        procs = []
+        try:
+            for spec in specs:
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec, builder, params),
+                    name=f"shard-{spec.shard_id}", daemon=True)
+                proc.start()
+                child_conn.close()
+                channels.append(PipeChannel(parent_conn))
+                procs.append(proc)
+            reports = [self._recv_report(ch, i)
+                       for i, ch in enumerate(channels)]
+            while True:
+                plans = coord.round(reports)
+                if plans[0].done:
+                    for ch in channels:
+                        ch.send(("finish", None))
+                    return [self._recv_output(ch, i)
+                            for i, ch in enumerate(channels)]
+                # Send every plan before collecting any report so the
+                # workers' grains overlap — this is where the
+                # parallelism lives.
+                for ch, plan in zip(channels, plans):
+                    ch.send(("plan", plan))
+                reports = [self._recv_report(ch, i)
+                           for i, ch in enumerate(channels)]
+        finally:
+            for ch in channels:
+                try:
+                    ch.close()
+                except Exception:
+                    pass
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - hang guard
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+    @staticmethod
+    def _recv(channel: PipeChannel, shard: int, want: str):
+        try:
+            tag, body = channel.recv()
+        except ChannelClosed as exc:
+            raise ShardedError(
+                f"shard {shard} worker exited unexpectedly") from exc
+        if tag == "error":
+            raise ShardedError(f"shard {shard} failed:\n{body}")
+        if tag != want:  # pragma: no cover - protocol guard
+            raise ShardedError(
+                f"shard {shard}: expected {want!r}, got {tag!r}")
+        return body
+
+    def _recv_report(self, channel, shard) -> ShardReport:
+        return self._recv(channel, shard, "report")
+
+    def _recv_output(self, channel, shard) -> ShardOutput:
+        return self._recv(channel, shard, "output")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ShardedSimulator nshards={self.nshards} "
+                f"mode={self.mode!r}>")

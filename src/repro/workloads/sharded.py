@@ -1,0 +1,703 @@
+"""Shard programs: workloads written for ``Simulator(shards=N)``.
+
+Two workloads live here, both built so their *virtual-time* behaviour
+is a pure function of message timestamps — the property that makes
+results independent of how nodes are partitioned into shards:
+
+**Field mix** (:func:`run_field_sharded`) — the DIS Field traffic
+pattern (short compute, a relaxed PUT of a field element to the right
+neighbour node, a couple of blocking probe round-trips, a closing
+barrier) recast as a message-passing shard program.  The same
+generator code also runs on one pooled :class:`Simulator`
+(:func:`run_field_reference`), giving an implementation-independent
+referee: the sharded runs must reproduce its trace, field contents
+and digests bit for bit.  Unlike the full-runtime Field bench this
+mix charges NIC send overhead inline instead of serializing through a
+shared :class:`~repro.sim.resource.Resource` — two threads queueing
+on one NIC at the *same instant* would acquire it in event-insertion
+order, which is not layout-invariant.  Contention-free send paths
+plus commutative same-time effects (the per-node digest is an order-
+insensitive sum) are what make the cross-shard determinism claim a
+theorem rather than an observation.
+
+**Fuzz-corpus skeleton** (:func:`run_corpus_sharded`) — replays a
+race-free fuzz :class:`~repro.testing.program.Program` as a shard
+program: one node per UPC thread, shared objects homed by
+``obj % nnodes`` (owner/allocating thread for non-collective allocs),
+remote reads/writes as request/reply messages applied at arrival,
+``upc_fence`` as ack-draining (:class:`ShardFence`) and collectives
+as coordinator barriers (:class:`ShardBarrier`).  The race discipline
+the validator enforces is exactly what makes arrival-time application
+sound: a write's ack returns before the writer's barrier arrival, the
+barrier releases after *every* arrival, and any reader issues after
+the release — so apply-before-read is ordered by timestamps alone, on
+any shard layout.  The full XLUPC runtime still replays the corpus on
+the pooled core (the determinism referee); the skeleton is how the
+*sharded* core proves layout invariance on the same inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.params import MACHINES, MachineParams
+from repro.network.partition import lookahead_matrix, partition_nodes
+from repro.network.topology import make_topology
+from repro.runtime.collectives import (ShardBarrier, ShardFence,
+                                       dissemination_cost_us)
+from repro.sim.errors import SimulationError
+from repro.sim.shard import ShardContext, ShardedRun, ShardedSimulator
+from repro.sim.simulator import Simulator
+from repro.testing.program import FENCING_KINDS, Program
+
+#: Node granularity of the Field mix (paper: 4 threads per
+#: MareNostrum blade).
+FIELD_THREADS_PER_NODE = 4
+
+_MASK64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+#: Fixed service cost a skeleton home node charges per remote request
+#: (dispatch + SVD lookup + handler), folded into the reply latency so
+#: handlers stay instantaneous (and therefore commutative) at arrival.
+_LOCAL_ACCESS_US = 0.3
+_LOCK_LOCAL_US = 0.5
+_CTRL_BYTES = 32
+
+
+def _jitter(a: int, b: int) -> float:
+    """Deterministic per-(a, b) fraction in [0, 1) — same generator
+    the sim-core bench uses, so thread start times decorrelate without
+    any RNG state."""
+    return ((a * 2654435761 + b * 97003 + 12345) & 1023) / 1024.0
+
+
+def _tq(t: float) -> int:
+    """Quantize a virtual time (µs) to an integer picosecond-ish key
+    for digests/traces (exact for the model's float sums)."""
+    return int(round(t * 1e6))
+
+
+def _fnv(data: bytes, acc: int = _FNV_OFFSET) -> int:
+    for byte in data:
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+    return acc
+
+
+def _mix(acc: int, *ints: int) -> int:
+    """Order-sensitive fold of integers into a running digest."""
+    for value in ints:
+        acc = _fnv(int(value & _MASK64).to_bytes(8, "little"), acc)
+    return acc
+
+
+def _commute_hash(*ints: int) -> int:
+    """Hash of one effect, summed (mod 2^64) into a per-node digest —
+    addition commutes, so same-time effects fold identically whatever
+    order a layout delivers them in."""
+    return _mix(_FNV_OFFSET, *ints)
+
+
+# ---------------------------------------------------------------------------
+# Field mix
+# ---------------------------------------------------------------------------
+
+class _FieldMix:
+    """Per-shard (or whole-machine) Field-mix state and handlers.
+
+    ``transmit(src_node, dst_node, kind, payload, nbytes, extra)`` is
+    injected by the backend: the sharded builder routes it through
+    ``ctx.send``; the reference schedules the delivery on its own
+    simulator.  Everything else — thread generators, handlers, costs —
+    is byte-for-byte the same code in both."""
+
+    def __init__(self, sim, machine: MachineParams, nnodes: int,
+                 local_nodes, transmit) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.t = machine.transport
+        self.nnodes = nnodes
+        self.topo = make_topology(machine, nnodes)
+        self.transmit = transmit
+        self.field = {node: {} for node in local_nodes}
+        self.node_digest = {node: 0 for node in local_nodes}
+        self.trace = []
+        self._pending = {}
+
+    def latency(self, src: int, dst: int, nbytes: int,
+                extra: float = 0.0) -> float:
+        return (self.topo.latency(src, dst)
+                + self.t.wire_time(nbytes) + extra)
+
+    # -- handlers (run at arrival; effects commute at equal times) ----
+
+    def handle_fput(self, payload) -> None:
+        dst, src_tid, tok = payload
+        self.field[dst][src_tid] = tok
+        self.node_digest[dst] = (
+            self.node_digest[dst]
+            + _commute_hash(src_tid, tok, _tq(self.sim.now))) & _MASK64
+
+    def handle_probe(self, payload) -> None:
+        dst, src_node, req = payload
+        # Service cost rides in the reply latency; the handler itself
+        # is instantaneous, so same-time probes commute.
+        service = (self.t.dispatch_us + self.t.svd_lookup_us
+                   + self.t.handler_cpu_us)
+        self.transmit(dst, src_node, "preply",
+                      (req, _tq(self.sim.now)), nbytes=16, extra=service)
+
+    def handle_preply(self, payload) -> None:
+        req, served = payload
+        self._pending.pop(req).succeed(value=served)
+
+    # -- the thread body ----------------------------------------------
+
+    def thread(self, node: int, tid: int, ntokens: int, probes: int):
+        sim, t = self.sim, self.t
+        for tok in range(ntokens):
+            yield sim.sleep(2.0 + 3.0 * _jitter(tid, tok))
+            # Relaxed PUT of the field element to the right neighbour.
+            yield sim.sleep(t.o_sw_us + t.o_send_us + t.nic_gap_us)
+            dst = (node + 1) % self.nnodes
+            self.transmit(node, dst, "fput", (dst, tid, tok), nbytes=64)
+            for p in range(probes):
+                other = ((node + 1) % self.nnodes if (tok + p) % 2 == 0
+                         else (node - 1) % self.nnodes)
+                yield sim.sleep(t.o_sw_us + t.o_send_us + t.nic_gap_us)
+                req = (tid, tok, p)
+                gate = sim.event(name=f"probe{req}")
+                self._pending[req] = gate
+                self.transmit(node, other, "probe",
+                              (other, node, req), nbytes=64)
+                served = yield gate
+                yield sim.sleep(t.o_recv_us)
+                self.trace.append((_tq(sim.now), tid, tok, p, served))
+        yield from self.barrier_wait()
+        self.trace.append((_tq(sim.now), tid, -1, -1, 0))
+
+    def barrier_wait(self):  # pragma: no cover - replaced per backend
+        raise NotImplementedError
+
+
+def _field_node_of(tid: int, nnodes: int) -> int:
+    return min(tid // FIELD_THREADS_PER_NODE, nnodes - 1)
+
+
+def field_nnodes(nthreads: int) -> int:
+    return max(1, nthreads // FIELD_THREADS_PER_NODE)
+
+
+def build_field_shard(ctx: ShardContext, nthreads: int = 32,
+                      ntokens: int = 4, probes: int = 2,
+                      machine: str = "gm") -> None:
+    """Shard-program builder for the Field mix (picklable; runs once
+    per shard in either backend)."""
+    m = MACHINES[machine]
+    nnodes = field_nnodes(nthreads)
+    part = partition_nodes(nnodes, ctx.nshards)
+    lo, hi = part.range_of(ctx.shard)
+    ctx.set_nodes(lo, hi)
+
+    def transmit(src, dst, kind, payload, nbytes, extra=0.0):
+        ctx.send(part.shard_of(dst), kind, payload,
+                 latency=core.latency(src, dst, nbytes, extra),
+                 nbytes=nbytes)
+
+    core = _FieldMix(ctx.sim, m, nnodes, range(lo, hi), transmit)
+    ctx.on_message("fput", core.handle_fput)
+    ctx.on_message("probe", core.handle_probe)
+    ctx.on_message("preply", core.handle_preply)
+    barrier = ShardBarrier(
+        ctx, expected=nthreads,
+        cost_us=dissemination_cost_us(m, nnodes, m.transport),
+        entry_us=m.transport.o_sw_us)
+    core.barrier_wait = lambda: barrier.wait(generation=0)
+    for tid in range(nthreads):
+        node = _field_node_of(tid, nnodes)
+        if lo <= node < hi:
+            ctx.spawn(core.thread(node, tid, ntokens, probes),
+                      name=f"field-t{tid}")
+    ctx.publish("trace", core.trace)
+    ctx.publish("field", core.field)
+    ctx.publish("digest", core.node_digest)
+
+
+def run_field_sharded(nthreads: int, nshards: int, *, ntokens: int = 4,
+                      probes: int = 2, machine: str = "gm",
+                      mode: str = "inproc",
+                      mp_context=None) -> dict:
+    """Run the Field mix under ``nshards`` shards and merge outputs."""
+    m = MACHINES[machine]
+    nnodes = field_nnodes(nthreads)
+    if nshards > nnodes:
+        raise ValueError(
+            f"nshards={nshards} exceeds {nnodes} Field nodes")
+    part = partition_nodes(nnodes, nshards)
+    la = lookahead_matrix(m, nnodes, part)
+    sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
+                               mp_context=mp_context)
+    run = sharded.run(build_field_shard,
+                      dict(nthreads=nthreads, ntokens=ntokens,
+                           probes=probes, machine=machine))
+    return _merge_field_outputs(run)
+
+
+def _merge_field_outputs(run: ShardedRun) -> dict:
+    trace, field, digest = [], {}, {}
+    for out in run.outputs:
+        trace.extend(out["trace"])
+        field.update(out["field"])
+        digest.update(out["digest"])
+    return {"trace": sorted(trace), "field": field, "digest": digest,
+            "now": run.now, "events": run.events, "run": run}
+
+
+class _RefBarrier:
+    """Counter barrier on one pooled simulator, release at
+    ``max(arrival) + cost`` — mirrors what the sync coordinator
+    resolves for :class:`ShardBarrier` so the reference and sharded
+    Field runs release at identical virtual times."""
+
+    def __init__(self, sim, expected: int, cost_us: float,
+                 entry_us: float, exit_us: float = 0.2) -> None:
+        self.sim = sim
+        self.expected = expected
+        self.cost_us = cost_us
+        self.entry_us = entry_us
+        self.exit_us = exit_us
+        self._gates = {}
+        self._arrived = {}
+
+    def wait(self, generation: int = 0):
+        sim = self.sim
+        if self.entry_us:
+            yield sim.sleep(self.entry_us)
+        gate = self._gates.get(generation)
+        if gate is None:
+            gate = self._gates[generation] = sim.event(
+                name=f"refbar@{generation}")
+        n = self._arrived.get(generation, 0) + 1
+        self._arrived[generation] = n
+        if n == self.expected:
+            gate.succeed(value=sim.now + self.cost_us,
+                         delay=self.cost_us)
+        yield gate
+        if self.exit_us:
+            yield sim.sleep(self.exit_us)
+
+
+def run_field_reference(nthreads: int, *, ntokens: int = 4,
+                        probes: int = 2, machine: str = "gm") -> dict:
+    """The Field mix on one pooled :class:`Simulator` — no shard
+    machinery anywhere — as the determinism referee."""
+    m = MACHINES[machine]
+    nnodes = field_nnodes(nthreads)
+    sim = Simulator(pooled=True)
+    procs = []
+
+    def transmit(src, dst, kind, payload, nbytes, extra=0.0):
+        # Same schedule-at-arrival path ShardContext uses.
+        ev = sim.sleep(core.latency(src, dst, nbytes, extra),
+                       value=payload)
+        ev.add_callback(lambda e, k=kind: _handle(k, e._value))
+
+    def _handle(kind, payload):
+        {"fput": core.handle_fput, "probe": core.handle_probe,
+         "preply": core.handle_preply}[kind](payload)
+
+    def spawn(gen, name=""):
+        proc = sim.process(gen, name=name)
+        procs.append(proc)
+        return proc
+
+    core = _FieldMix(sim, m, nnodes, range(nnodes), transmit)
+    barrier = _RefBarrier(sim, expected=nthreads,
+                          cost_us=dissemination_cost_us(
+                              m, nnodes, m.transport),
+                          entry_us=m.transport.o_sw_us)
+    core.barrier_wait = lambda: barrier.wait(generation=0)
+    for tid in range(nthreads):
+        spawn(core.thread(_field_node_of(tid, nnodes), tid, ntokens,
+                          probes), name=f"field-t{tid}")
+    sim.run()
+    stuck = [p.name for p in procs if p.is_alive]
+    if stuck:
+        raise SimulationError(
+            f"reference Field deadlocked: {stuck[:5]}")
+    return {"trace": sorted(core.trace), "field": core.field,
+            "digest": core.node_digest, "now": sim.now,
+            "events": sim.events_processed, "run": None}
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-corpus skeleton
+# ---------------------------------------------------------------------------
+
+def _object_plan(program: Program, nnodes: int):
+    """Walk the program once, assigning every object *incarnation* a
+    unique id ``(obj, k)`` (ids may be reused after ``free``) plus its
+    home node, and record which incarnation each phase sees.
+
+    Returns ``(infos, eff_by_phase, final_live)`` where ``infos`` maps
+    oid -> dict(nelems, dtype, kind, home, tile geometry) and
+    ``eff_by_phase[pi]`` maps raw obj id -> oid during phase ``pi``.
+    """
+    infos, counts, current = {}, {}, {}
+
+    def register(obj, home, nelems, dtype, kind="array", rows=0,
+                 cols=0, tile_r=0, tile_c=0):
+        k = counts.get(obj, 0)
+        counts[obj] = k + 1
+        oid = (obj, k)
+        infos[oid] = {"nelems": nelems, "dtype": dtype, "kind": kind,
+                      "home": home % nnodes, "rows": rows,
+                      "cols": cols, "tile_r": tile_r, "tile_c": tile_c}
+        current[obj] = oid
+
+    for s in program.scalars:
+        register(s.obj, s.owner_thread, 1, s.dtype, kind="scalar")
+    eff_by_phase = []
+    for ph in program.phases:
+        if ph.is_collective:
+            op = ph.collective
+            a = op.args
+            if op.kind == "alloc":
+                register(op.obj, op.obj, a["nelems"], a["dtype"])
+            elif op.kind == "alloc_matrix":
+                register(op.obj, op.obj, a["rows"] * a["cols"],
+                         a["dtype"], kind="matrix", rows=a["rows"],
+                         cols=a["cols"], tile_r=a["tile_r"],
+                         tile_c=a["tile_c"])
+            elif op.kind == "free":
+                current.pop(op.obj, None)
+        else:
+            for tid, lst in enumerate(ph.per_thread):
+                for op in lst:
+                    if op.kind in ("global_alloc", "local_alloc"):
+                        register(op.obj, tid, op.args["nelems"],
+                                 op.args["dtype"])
+        eff_by_phase.append(dict(current))
+    final_live = set((eff_by_phase[-1] if eff_by_phase else {}).values())
+    return infos, eff_by_phase, final_live
+
+
+def _mat_linear(info: dict, r: int, c: int) -> int:
+    """Tile-major (row, col) -> linear index — same arithmetic as the
+    program validator's `_matrix_linear` (kept independent of the
+    runtime's SharedMatrix on purpose)."""
+    tiles_c = info["cols"] // info["tile_c"]
+    tile = (r // info["tile_r"]) * tiles_c + (c // info["tile_c"])
+    within = (r % info["tile_r"]) * info["tile_c"] + (c % info["tile_c"])
+    return tile * info["tile_r"] * info["tile_c"] + within
+
+
+def _skeleton_spans(op, info):
+    """(start, cnt, mode, values) spans an op touches; mode ``r``
+    read, ``w`` relaxed write, ``s`` strict write, ``l`` RMW."""
+    a, k = op.args, op.kind
+    if k == "get":
+        return [(a["index"], 1, "r", None)]
+    if k in ("put", "memput"):
+        return [(a["index"], len(a["values"]), "w", a["values"])]
+    if k == "put_strict":
+        return [(a["index"], len(a["values"]), "s", a["values"])]
+    if k == "memget":
+        return [(a["index"], a["nelems"], "r", None)]
+    if k == "memget_v":
+        return [(i, n, "r", None) for i, n in a["spans"]]
+    if k == "memput_v":
+        return [(i, len(v), "w", v) for i, v in a["puts"]]
+    if k == "gather":
+        return [(i, a.get("nelems", 1), "r", None)
+                for i in a["indices"]]
+    if k == "ptr_walk":
+        return [(a["index"] + a["delta"], 1, "r", None)]
+    if k == "lock_add":
+        return [(a["index"], 1, "l", a["delta"])]
+    if k == "get_rc":
+        return [(_mat_linear(info, a["r"], a["c"]), 1, "r", None)]
+    if k == "put_rc":
+        return [(_mat_linear(info, a["r"], a["c"]), 1, "w",
+                 [a["value"]])]
+    if k == "memget_row":
+        return [(_mat_linear(info, a["r"], a["c0"]), a["nelems"], "r",
+                 None)]
+    return []
+
+
+def _wrap_int(value: int, dtype: np.dtype) -> int:
+    bits = dtype.itemsize * 8
+    if dtype.kind == "u":
+        return value & ((1 << bits) - 1)
+    half = 1 << (bits - 1)
+    return ((value + half) % (1 << bits)) - half
+
+
+class _SkeletonCore:
+    """Per-shard state of the corpus-skeleton service.
+
+    Every remote access is a request message applied (or served) at
+    its arrival instant by a pure handler; service cost rides in the
+    reply latency.  Fences drain write acks; collectives are
+    generation-named coordinator barriers.  See the module docstring
+    for why arrival-time application is sound under the corpus race
+    discipline."""
+
+    def __init__(self, sim, machine: MachineParams, program: Program,
+                 local_nodes, transmit, barrier, fences) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.t = machine.transport
+        self.program = program
+        self.nnodes = program.nthreads
+        self.topo = make_topology(machine, self.nnodes)
+        self.transmit = transmit
+        self.barrier = barrier      # (generation) -> generator
+        self.fences = fences        # tid -> ShardFence-like
+        self.infos, self.eff, self.final_live = _object_plan(
+            program, self.nnodes)
+        local = set(local_nodes)
+        #: Zero-initialised byte image of every incarnation homed
+        #: here.  Unique oids mean upfront creation is safe even when
+        #: raw object ids are reused after a free.
+        self.images = {
+            oid: bytearray(np.zeros(info["nelems"],
+                                    dtype=np.dtype(info["dtype"]))
+                           .tobytes())
+            for oid, info in self.infos.items()
+            if info["home"] in local}
+        self.digests = {}
+        self.finish = {}
+        self._pending = {}
+        self._reqseq = 0
+        self.service_us = (self.t.dispatch_us + self.t.svd_lookup_us
+                           + self.t.handler_cpu_us)
+
+    def latency(self, src: int, dst: int, nbytes: int,
+                extra: float = 0.0) -> float:
+        return (self.topo.latency(src, dst)
+                + self.t.wire_time(nbytes) + extra)
+
+    # -- handlers ------------------------------------------------------
+
+    def handle_sput(self, payload) -> None:
+        oid, start, data, src_node, token = payload
+        isz = np.dtype(self.infos[oid]["dtype"]).itemsize
+        self.images[oid][start * isz:start * isz + len(data)] = data
+        self.transmit(self.infos[oid]["home"], src_node, "sack",
+                      (src_node, token), _CTRL_BYTES,
+                      extra=self.service_us)
+
+    def handle_sack(self, payload) -> None:
+        dst_node, token = payload
+        self.fences[dst_node].ack(token)
+
+    def handle_sget(self, payload) -> None:
+        oid, start, cnt, src_node, req = payload
+        isz = np.dtype(self.infos[oid]["dtype"]).itemsize
+        data = bytes(self.images[oid][start * isz:(start + cnt) * isz])
+        self.transmit(self.infos[oid]["home"], src_node, "srep",
+                      (req, data, _tq(self.sim.now)),
+                      len(data) + _CTRL_BYTES, extra=self.service_us)
+
+    def handle_sadd(self, payload) -> None:
+        oid, index, delta, src_node, req = payload
+        dt = np.dtype(self.infos[oid]["dtype"])
+        img = self.images[oid]
+        off = index * dt.itemsize
+        old = int(np.frombuffer(bytes(img[off:off + dt.itemsize]),
+                                dtype=dt)[0])
+        raw = _wrap_int(old + int(delta), dt)
+        img[off:off + dt.itemsize] = np.array([raw], dtype=dt).tobytes()
+        self.transmit(self.infos[oid]["home"], src_node, "srep",
+                      (req, b"", _tq(self.sim.now)),
+                      _CTRL_BYTES, extra=self.service_us)
+
+    def handle_srep(self, payload) -> None:
+        req, data, served = payload
+        self._pending.pop(req).succeed(value=(data, served))
+
+    # -- request helpers (generators) ----------------------------------
+
+    def _request(self, tid, kind, body, nbytes):
+        """Issue a blocking request to a home node; returns
+        ``(data, served_time)``."""
+        sim, t = self.sim, self.t
+        yield sim.sleep(t.o_sw_us + t.o_send_us)
+        self._reqseq += 1
+        req = (tid, self._reqseq)
+        gate = sim.event(name=f"req{req}")
+        self._pending[req] = gate
+        home = self.infos[body[0]]["home"]
+        self.transmit(tid, home, kind, body + (tid, req), nbytes)
+        data, served = yield gate
+        yield sim.sleep(t.o_recv_us)
+        return data, served
+
+    # -- per-op execution ----------------------------------------------
+
+    def exec_op(self, tid, op, pi, oi, eff, fence):
+        sim, t = self.sim, self.t
+        k = op.kind
+        if k == "compute":
+            yield sim.sleep(0.8 + 1.7 * _jitter(tid, pi * 8192 + oi))
+            return
+        if k == "poll":
+            yield sim.sleep(0.5)
+            return
+        if k == "fence":
+            yield from fence.wait()
+            return
+        if k in ("global_alloc", "local_alloc"):
+            yield sim.sleep(1.0)
+            return
+        oid = eff[op.obj]
+        info = self.infos[oid]
+        dt = np.dtype(info["dtype"])
+        for start, cnt, mode, values in _skeleton_spans(op, info):
+            if cnt == 0:
+                continue
+            if mode == "r":
+                if info["home"] == tid:
+                    yield sim.sleep(t.o_sw_us + _LOCAL_ACCESS_US)
+                    isz = dt.itemsize
+                    data = bytes(self.images[oid][start * isz:
+                                                  (start + cnt) * isz])
+                    served = _tq(sim.now)
+                else:
+                    data, served = yield from self._request(
+                        tid, "sget", (oid, start, cnt),
+                        _CTRL_BYTES)
+                self.digests[tid] = _mix(
+                    self.digests[tid], oid[0], oid[1], start,
+                    _fnv(data), served)
+            elif mode in ("w", "s"):
+                data = np.asarray(values, dtype=dt).tobytes()
+                if info["home"] == tid:
+                    yield sim.sleep(t.o_sw_us + _LOCAL_ACCESS_US)
+                    isz = dt.itemsize
+                    self.images[oid][start * isz:
+                                     start * isz + len(data)] = data
+                else:
+                    yield sim.sleep(t.o_sw_us + t.o_send_us)
+                    token = fence.issue()
+                    self.transmit(tid, info["home"], "sput",
+                                  (oid, start, data, tid, token),
+                                  len(data) + _CTRL_BYTES)
+                    if mode == "s":
+                        # Strict PUT completes before the next op.
+                        yield from fence.wait()
+            else:  # "l" — lock-protected RMW
+                if info["home"] == tid:
+                    yield sim.sleep(t.o_sw_us + _LOCAL_ACCESS_US
+                                    + _LOCK_LOCAL_US)
+                    off = start * dt.itemsize
+                    img = self.images[oid]
+                    old = int(np.frombuffer(
+                        bytes(img[off:off + dt.itemsize]), dtype=dt)[0])
+                    raw = _wrap_int(old + int(values), dt)
+                    img[off:off + dt.itemsize] = np.array(
+                        [raw], dtype=dt).tobytes()
+                else:
+                    _, served = yield from self._request(
+                        tid, "sadd", (oid, start, values),
+                        _CTRL_BYTES)
+                    self.digests[tid] = _mix(
+                        self.digests[tid], oid[0], oid[1], start,
+                        served)
+
+    def _collective_extra(self, op) -> float:
+        m = self.machine
+        if op.kind in ("all_reduce", "broadcast"):
+            if self.nnodes > 1:
+                stages = max(1, int(np.ceil(np.log2(self.nnodes))))
+                return stages * (m.wire_base_us + 3 * m.wire_per_hop_us)
+            return 0.0
+        if op.kind in ("alloc", "alloc_matrix"):
+            return 1.0
+        if op.kind == "free":
+            return 0.2
+        return 0.0
+
+    def thread(self, tid: int):
+        sim = self.sim
+        fence = self.fences[tid]
+        self.digests[tid] = _FNV_OFFSET
+        for pi, ph in enumerate(self.program.phases):
+            if ph.is_collective:
+                op = ph.collective
+                if op.kind in FENCING_KINDS:
+                    yield from fence.wait()
+                yield from self.barrier(pi)
+                extra = self._collective_extra(op)
+                if extra:
+                    yield sim.sleep(extra)
+                continue
+            eff = self.eff[pi]
+            for oi, op in enumerate(ph.per_thread[tid]):
+                yield from self.exec_op(tid, op, pi, oi, eff, fence)
+        self.finish[tid] = _tq(sim.now)
+
+
+def build_corpus_shard(ctx: ShardContext, program_json: str,
+                       machine: str = "gm") -> None:
+    """Shard-program builder replaying one fuzz program (one node per
+    UPC thread; picklable via the JSON text)."""
+    program = Program.loads(program_json)
+    m = MACHINES[machine]
+    nnodes = program.nthreads
+    part = partition_nodes(nnodes, ctx.nshards)
+    lo, hi = part.range_of(ctx.shard)
+    ctx.set_nodes(lo, hi)
+
+    def transmit(src, dst, kind, payload, nbytes, extra=0.0):
+        ctx.send(part.shard_of(dst), kind, payload,
+                 latency=core.latency(src, dst, nbytes, extra),
+                 nbytes=nbytes)
+
+    cost = dissemination_cost_us(m, nnodes, m.transport)
+    shard_barrier = ShardBarrier(ctx, expected=nnodes, cost_us=cost,
+                                 entry_us=m.transport.o_sw_us)
+    fences = {tid: ShardFence(ctx) for tid in range(lo, hi)}
+    core = _SkeletonCore(
+        ctx.sim, m, program, range(lo, hi), transmit,
+        barrier=lambda gen: shard_barrier.wait(generation=gen),
+        fences=fences)
+    for kind in ("sput", "sack", "sget", "sadd", "srep"):
+        ctx.on_message(kind, getattr(core, f"handle_{kind}"))
+    for tid in range(lo, hi):
+        ctx.spawn(core.thread(tid), name=f"skel-t{tid}")
+    ctx.publish("mem", {f"{o}:{k}": bytes(img)
+                        for (o, k), img in core.images.items()
+                        if (o, k) in core.final_live})
+    ctx.publish("digests", core.digests)
+    ctx.publish("finish", core.finish)
+
+
+def run_corpus_sharded(program: Program, nshards: int, *,
+                       machine: str = "gm", mode: str = "inproc",
+                       mp_context=None) -> dict:
+    """Replay ``program`` under ``nshards`` shards; merged result is
+    layout-invariant (``nshards=1`` is the pooled referee — the whole
+    run lives on one pooled :class:`Simulator`)."""
+    m = MACHINES[machine]
+    nnodes = program.nthreads
+    if nshards > nnodes:
+        raise ValueError(
+            f"nshards={nshards} exceeds {nnodes} skeleton nodes")
+    part = partition_nodes(nnodes, nshards)
+    la = lookahead_matrix(m, nnodes, part)
+    sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
+                               mp_context=mp_context)
+    run = sharded.run(build_corpus_shard,
+                      dict(program_json=program.dumps(),
+                           machine=machine))
+    mem, digests, finish = {}, {}, {}
+    for out in run.outputs:
+        mem.update(out["mem"])
+        digests.update(out["digests"])
+        finish.update(out["finish"])
+    return {"mem": mem, "digests": digests, "finish": finish,
+            "now": run.now, "events": run.events, "run": run}

@@ -1,0 +1,122 @@
+"""Sharded-core determinism: the pooled single core is the referee.
+
+Two workload families run under shards ∈ {1, 2, 4} and under both
+backends (inproc / multiprocessing):
+
+* the **Field mix** — the communication pattern of the paper's Field
+  stressmark rewritten against shard boundaries (token puts + gather
+  probes + closing barrier);
+* the **fuzz-corpus skeleton** — every program in tests/fuzz/corpus
+  replayed as a message-passing skeleton (same homing, same wire
+  model, same collectives).
+
+Every layout must produce byte-identical results: final memory images,
+per-node digests, completion times, and the final virtual clock.  Raw
+event *totals* legitimately differ across layouts (each extra shard
+adds its own barrier-gate event per generation), so they are not
+compared.  For a fixed layout, inproc and mp must agree exactly —
+that's the transport-independence half of the contract."""
+
+import glob
+import os
+
+import pytest
+
+from repro.testing.generator import generate_program
+from repro.testing.program import Program
+from repro.workloads.sharded import (field_nnodes, run_corpus_sharded,
+                                     run_field_reference,
+                                     run_field_sharded)
+
+pytestmark = pytest.mark.shard
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "fuzz", "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return Program.loads(fh.read())
+
+
+def _assert_field_match(got, ref, label):
+    assert got["trace"] == ref["trace"], f"{label}: trace differs"
+    assert got["field"] == ref["field"], f"{label}: field state differs"
+    assert got["digest"] == ref["digest"], f"{label}: digests differ"
+    assert got["now"] == ref["now"], f"{label}: final clock differs"
+
+
+def _assert_corpus_match(got, ref, label):
+    assert got["mem"] == ref["mem"], f"{label}: final memory differs"
+    assert got["digests"] == ref["digests"], f"{label}: digests differ"
+    assert got["finish"] == ref["finish"], f"{label}: finish times differ"
+    assert got["now"] == ref["now"], f"{label}: final clock differs"
+
+
+# ---------------------------------------------------------------------------
+# Field mix vs the independent pooled reference
+# ---------------------------------------------------------------------------
+
+FIELD_NT = 32  # 8 nodes -> shard counts 1/2/4 all divide evenly
+
+
+@pytest.mark.parametrize("nshards", [1, 2, 4])
+def test_field_layouts_match_pooled_reference(nshards):
+    assert nshards <= field_nnodes(FIELD_NT)
+    ref = run_field_reference(FIELD_NT, ntokens=3, probes=2)
+    got = run_field_sharded(FIELD_NT, nshards, ntokens=3, probes=2,
+                            mode="inproc")
+    _assert_field_match(got, ref, f"shards={nshards}")
+    # The referee actually exercised the workload.
+    assert len(ref["trace"]) == FIELD_NT * (3 * 2 + 1)
+    assert ref["now"] > 0
+
+
+def test_field_mp_backend_matches_inproc():
+    inproc = run_field_sharded(FIELD_NT, 2, ntokens=3, probes=2,
+                               mode="inproc")
+    mp = run_field_sharded(FIELD_NT, 2, ntokens=3, probes=2, mode="mp")
+    _assert_field_match(mp, inproc, "mp vs inproc")
+    # Same layout: even raw event totals must agree across backends.
+    assert mp["events"] == inproc["events"]
+    assert mp["run"].rounds == inproc["run"].rounds
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-corpus skeleton across layouts
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "corpus", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_skeleton_layout_invariant(corpus):
+    prog = _load(corpus)
+    base = run_corpus_sharded(prog, 1)
+    assert base["mem"], "corpus program left no live objects to check"
+    for nshards in (2, 4):
+        if nshards > prog.nthreads:
+            continue
+        got = run_corpus_sharded(prog, nshards, mode="inproc")
+        _assert_corpus_match(got, base,
+                             f"{os.path.basename(corpus)} shards={nshards}")
+
+
+def test_corpus_skeleton_mp_backend_matches():
+    prog = _load(CORPUS[0])
+    inproc = run_corpus_sharded(prog, 2, mode="inproc")
+    mp = run_corpus_sharded(prog, 2, mode="mp")
+    _assert_corpus_match(mp, inproc, "mp vs inproc")
+    assert mp["events"] == inproc["events"]
+
+
+def test_fresh_fuzz_programs_layout_invariant():
+    """Not just the frozen corpus: freshly generated programs must
+    also be layout-invariant, so regressions in *new* op mixes are
+    caught here rather than by the next fuzz campaign."""
+    for seed in (101, 202):
+        prog = generate_program(seed, n_ops=40, nthreads=4)
+        base = run_corpus_sharded(prog, 1)
+        for nshards in (2, 4):
+            got = run_corpus_sharded(prog, nshards, mode="inproc")
+            _assert_corpus_match(got, base,
+                                 f"seed={seed} shards={nshards}")
