@@ -1,0 +1,192 @@
+"""KV service-level benchmark: Zipfian traffic FCT vs. key skew.
+
+Drives the open-loop KV traffic harness
+(:mod:`repro.workloads.kv_traffic`) at two Zipf skews and reports the
+service-level view the paper's one-sided-vs-AM comparison predicts:
+
+* **p50/p99 flow-completion time** of the whole request population and
+  of the cache-hit (one-sided) and cache-miss (AM/RPC) subpopulations
+  separately — the hit path skips dispatch + SVD lookup + handler CPU,
+  so its quantiles sit strictly below the miss path's;
+* **address-cache hit rate vs. skew** — a hotter key distribution
+  concentrates buckets into the per-client LRU, so ``s=1.2`` must
+  beat ``s=0.9``;
+* a **layout-invariance referee** at reduced scale: the same traffic
+  merged from 1 and 2 shards must produce bit-identical histograms,
+  counts and per-client digests.
+
+Full mode sustains >= 1M simulated requests across the two skews on
+the 2-shard core; ``--quick`` is the CI smoke (~50k requests).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kv_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_kv_service.py --quick  # CI smoke
+
+Output lands in ``BENCH_kv_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.workloads.kv_traffic import (TrafficParams, TrafficResult,
+                                        run_kv_traffic)
+
+SKEWS = (0.9, 1.2)
+FULL_REQUESTS = 600_000      # per skew -> 1.2M total
+QUICK_REQUESTS = 25_000      # per skew -> 50k total
+REFEREE_REQUESTS = 8_000
+
+
+def _row(p: TrafficParams, res: TrafficResult, nshards: int,
+         wall_s: float) -> Dict:
+    q = res.quantiles()
+    return {
+        "zipf_s": p.zipf_s,
+        "shards": nshards,
+        "requests": res.requests,
+        "gets": res.gets,
+        "puts": res.puts,
+        "conns": res.conns,
+        "hit_rate": round(res.hit_rate, 4),
+        "p50_us": round(q["p50_us"], 3),
+        "p99_us": round(q["p99_us"], 3),
+        "hit_p50_us": round(q["hit_p50_us"], 3),
+        "hit_p99_us": round(q["hit_p99_us"], 3),
+        "miss_p50_us": round(q["miss_p50_us"], 3),
+        "miss_p99_us": round(q["miss_p99_us"], 3),
+        "final_clock_us": res.now,
+        "events": res.events,
+        "wall_s": round(wall_s, 3),
+        "requests_per_wall_sec": round(res.requests / wall_s)
+        if wall_s > 0 else None,
+    }
+
+
+def run_referee(seed: int = 11) -> Dict:
+    """Reduced-scale invariance check: shards=1 vs shards=2 must merge
+    to bit-identical histograms, counts and digests."""
+    p = TrafficParams(requests=REFEREE_REQUESTS, zipf_s=1.05, seed=seed)
+    one = run_kv_traffic(p, 1)
+    two = run_kv_traffic(p, 2)
+    identical = (np.array_equal(one.hist, two.hist)
+                 and np.array_equal(one.hist_hit, two.hist_hit)
+                 and np.array_equal(one.hist_miss, two.hist_miss)
+                 and one.digests == two.digests
+                 and one.now == two.now)
+    return {
+        "requests": one.requests,
+        "identical_across_layouts": identical,
+    }
+
+
+def run_bench(quick: bool = False, nshards: int = 2,
+              seed: int = 7) -> Dict:
+    per_skew = QUICK_REQUESTS if quick else FULL_REQUESTS
+    rows: List[Dict] = []
+    for s in SKEWS:
+        p = TrafficParams(requests=per_skew, zipf_s=s, seed=seed)
+        t0 = time.perf_counter()
+        res = run_kv_traffic(p, nshards)
+        wall = time.perf_counter() - t0
+        row = _row(p, res, nshards, wall)
+        rows.append(row)
+        print(f"  s={s}: {row['requests']:8d} requests  "
+              f"hit_rate={row['hit_rate']:.3f}  "
+              f"p50={row['p50_us']:.1f}us p99={row['p99_us']:.1f}us  "
+              f"(hit p50 {row['hit_p50_us']:.1f} / miss p50 "
+              f"{row['miss_p50_us']:.1f})  {row['wall_s']:.1f}s")
+    referee = run_referee()
+    print(f"  referee: {referee['requests']} requests, "
+          f"layouts identical={referee['identical_across_layouts']}")
+    p0 = TrafficParams()
+    return {
+        "bench": "kv_service",
+        "mode": "quick" if quick else "full",
+        "workload": {
+            "nnodes": p0.nnodes,
+            "nclients": p0.nclients,
+            "nkeys": p0.nkeys,
+            "nbuckets": p0.nbuckets,
+            "cache_capacity": p0.cache_capacity,
+            "put_frac": p0.put_frac,
+            "mean_gap_us": p0.mean_gap_us,
+            "machine": p0.machine,
+            "requests_per_skew": per_skew,
+            "shards": nshards,
+            "seed": seed,
+        },
+        "results": rows,
+        "total_requests": sum(r["requests"] for r in rows),
+        "invariance": referee,
+    }
+
+
+def check(report: Dict) -> List[str]:
+    """Self-consistency gates (run in both modes)."""
+    problems = []
+    rows = {r["zipf_s"]: r for r in report["results"]}
+    lo, hi = rows[min(rows)], rows[max(rows)]
+    if not report["invariance"]["identical_across_layouts"]:
+        problems.append("traffic merge differs across shard layouts")
+    if hi["hit_rate"] <= lo["hit_rate"]:
+        problems.append(
+            f"hit rate did not rise with skew "
+            f"({lo['hit_rate']} -> {hi['hit_rate']})")
+    for r in report["results"]:
+        if r["hit_p50_us"] >= r["miss_p50_us"]:
+            problems.append(
+                f"s={r['zipf_s']}: one-sided p50 {r['hit_p50_us']} not "
+                f"below AM p50 {r['miss_p50_us']}")
+    if report["mode"] == "full" and report["total_requests"] < 1_000_000:
+        problems.append(
+            f"full mode sustained only {report['total_requests']} "
+            "requests (< 1M)")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced scale for CI smoke")
+    ap.add_argument("--out", default="BENCH_kv_service.json",
+                    help="where to write the JSON report")
+    ap.add_argument("--shards", type=int, default=2,
+                    help="shard count for the measured runs")
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args(argv)
+
+    print(f"kv-service benchmark "
+          f"({'quick' if args.quick else 'full'} scale)")
+    report = run_bench(quick=args.quick, nshards=args.shards,
+                       seed=args.seed)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    problems = check(report)
+    for p in problems:
+        print(f"FAIL: {p}")
+    return 1 if problems else 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (collected only when explicitly requested)
+# ---------------------------------------------------------------------------
+
+def test_kv_service_quick():
+    """Smoke: quick scale, all self-consistency gates hold."""
+    report = run_bench(quick=True)
+    assert not check(report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

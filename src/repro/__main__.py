@@ -258,6 +258,10 @@ def fuzz_main(argv) -> int:
     ap.add_argument("--fault-seed", type=int, default=None,
                     help="base fault RNG seed (each program seed "
                          "derives its own)")
+    ap.add_argument("--kv", action="store_true",
+                    help="include KV-store ops (kv_create/put/get/"
+                         "del/multi-get over both access paths) in "
+                         "the generated programs")
     args = ap.parse_args(argv)
 
     if args.quick or args.matrix is None:
@@ -284,13 +288,51 @@ def fuzz_main(argv) -> int:
     report = fuzz(args.seed, n_ops=args.ops, nthreads=args.nthreads,
                   configs=configs, shrink_failures=not args.no_shrink,
                   corpus_dir=args.corpus, trace_dir=args.trace_dir,
-                  fault_plan=fault_plan)
+                  fault_plan=fault_plan, kv=args.kv)
     status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
     mode = " [faults]" if args.faults else ""
+    if args.kv:
+        mode += " [kv]"
     print(f"fuzz{mode}: {report.programs_run} program(s), "
           f"{report.ops_run} ops, {len(report.configs)} configs — "
           f"{status} ({time.time() - t0:.1f}s)")
     return 0 if report.ok else 1
+
+
+def kvtraffic_main(argv) -> int:
+    """``python -m repro kvtraffic`` — open-loop Zipfian KV traffic on
+    the sharded core; prints SLO quantiles and the cache hit rate."""
+    from repro.workloads.kv_traffic import TrafficParams, run_kv_traffic
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro kvtraffic",
+        description="Open-loop Zipfian/Poisson KV service traffic on "
+                    "the sharded event core (see docs/SERVICE.md).")
+    ap.add_argument("--requests", type=int, default=100_000,
+                    help="total requests across all clients")
+    ap.add_argument("--skew", type=float, default=0.9,
+                    help="Zipf exponent s (default 0.9)")
+    ap.add_argument("--shards", type=int, default=1)
+    ap.add_argument("--nclients", type=int, default=32)
+    ap.add_argument("--nnodes", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--machine", default="gm")
+    args = ap.parse_args(argv)
+
+    p = TrafficParams(nnodes=args.nnodes, nclients=args.nclients,
+                      requests=args.requests, zipf_s=args.skew,
+                      seed=args.seed, machine=args.machine)
+    t0 = time.time()
+    res = run_kv_traffic(p, args.shards)
+    q = res.quantiles()
+    print(f"kvtraffic s={args.skew} shards={args.shards}: "
+          f"{res.requests} requests ({res.gets} get / {res.puts} put), "
+          f"hit rate {res.hit_rate:.3f}, {res.conns} connections")
+    print(f"  FCT p50={q['p50_us']:.1f}us p99={q['p99_us']:.1f}us  "
+          f"one-sided p50={q['hit_p50_us']:.1f}us  "
+          f"AM p50={q['miss_p50_us']:.1f}us  "
+          f"({res.events} sim events, {time.time() - t0:.1f}s)")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -298,6 +340,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "kvtraffic":
+        return kvtraffic_main(argv[1:])
     if argv and argv[0] == "trace":
         from repro.obs.cli import trace_main
         return trace_main(argv[1:])
@@ -309,9 +353,11 @@ def main(argv=None) -> int:
                     "in PGAS languages' (IPDPS 2009) on the simulator.")
     ap.add_argument("figure",
                     choices=sorted(_runners(True)) + ["all", "fuzz",
+                                                      "kvtraffic",
                                                       "trace", "run"],
                     help="which figure to regenerate ('fuzz' runs the "
-                         "differential harness; 'trace' the flight "
+                         "differential harness; 'kvtraffic' the KV "
+                         "service traffic harness; 'trace' the flight "
                          "recorder; 'run' one stressmark)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")

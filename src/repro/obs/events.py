@@ -83,6 +83,15 @@ BULK_PLAN = "bulk_plan"
 BULK_ISSUE = "bulk_issue"
 BULK_DRAIN = "bulk_drain"
 
+#: Service-layer op-span names (:mod:`repro.service`).  KV ops reuse
+#: the generic ``op_begin``/``op_end`` kinds; the span's ``name`` attr
+#: carries one of these so analyzers can attribute the underlying
+#: memget/lock/AM traffic to the data-structure operation above it.
+KV_GET = "kv_get"
+KV_PUT = "kv_put"
+KV_DEL = "kv_del"
+KV_MGET = "kv_mget"
+
 COUNTER = "counter"
 
 FAULT_INJECT = "fault_inject"

@@ -43,6 +43,17 @@ class RuntimeMetrics:
     frees: int = 0
     lock_acquires: int = 0
 
+    #: Service-layer (:mod:`repro.service`) operation counts, split by
+    #: the access path that served them.  ``kv_rpc_ops`` counts ops
+    #: served by the AM/RPC path (handler at the home node);
+    #: ``kv_onesided_ops`` counts ops served by one-sided transfers.
+    kv_gets: int = 0
+    kv_puts: int = 0
+    kv_dels: int = 0
+    kv_mgets: int = 0
+    kv_rpc_ops: int = 0
+    kv_onesided_ops: int = 0
+
     compute_time_us: float = 0.0
 
     #: Bulk-transfer engine accounting (memget/memput/gather through

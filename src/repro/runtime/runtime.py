@@ -453,11 +453,22 @@ class Runtime:
     # -- program execution ---------------------------------------------------
 
     def spawn(self, program: Callable, *args) -> List:
-        """Launch ``program(thread, *args)`` on every UPC thread."""
+        """Launch ``program(thread, *args)`` on every UPC thread.
+
+        A finished thread parks in ``upc_exit``: it registers a
+        permanent poller on its node so in-flight AMs targeting that
+        node still get service (the implicit exit barrier of real
+        runtimes).  Without this, a kernel whose last op is not a
+        barrier deadlocks any remote thread still reading its data.
+        """
+        def main(th):
+            result = yield from program(th, *args)
+            th.node.progress.enter_runtime()
+            return result
+
         procs = []
         for th in self.threads:
-            proc = self.sim.process(program(th, *args),
-                                    name=f"upc{th.id}")
+            proc = self.sim.process(main(th), name=f"upc{th.id}")
             procs.append(proc)
         self._programs.extend(procs)
         return procs

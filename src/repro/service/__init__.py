@@ -1,0 +1,29 @@
+"""The remote data-structure service layer.
+
+Everything below this package is mechanism — one-sided memget/memput,
+the address cache, the bulk engine, locks, AM handlers.  This package
+is the first *policy* layer built on top of it: distributed data
+structures that serve requests, starting with the hashed key-value
+store of :mod:`repro.service.kvstore` (the Storm / "RDMA vs. RPC for
+Distributed Data Structures" scenario from PAPERS.md).
+"""
+
+from repro.service.kvstore import (
+    ACCESS_PATHS,
+    KV_MISSING,
+    KVFullError,
+    KVStore,
+    KVStoreError,
+    bucket_of,
+    kv_create,
+)
+
+__all__ = [
+    "ACCESS_PATHS",
+    "KV_MISSING",
+    "KVFullError",
+    "KVStore",
+    "KVStoreError",
+    "bucket_of",
+    "kv_create",
+]

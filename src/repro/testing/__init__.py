@@ -20,7 +20,11 @@ Entry points: ``python -m repro fuzz --seed N --ops M`` and the
 fixed-seed corpus in ``tests/fuzz/``.
 """
 
-from repro.testing.generator import ProgramGenerator, generate_program
+from repro.testing.generator import (
+    ProgramGenerator,
+    generate_program,
+    generate_service_program,
+)
 from repro.testing.oracle import (
     FlatOracle,
     OracleResult,
@@ -71,6 +75,7 @@ __all__ = [
     "config_by_name",
     "fuzz",
     "generate_program",
+    "generate_service_program",
     "live_objects_at_end",
     "record_flight",
     "run_config",

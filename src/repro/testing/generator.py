@@ -48,6 +48,18 @@ _COLLECTIVE_WEIGHTS = [
     ("broadcast", 2), ("alloc", 4), ("alloc_matrix", 2), ("free", 4),
 ]
 
+#: Extra draws mixed in when kv-store fuzzing is enabled (kv ops ride
+#: along with the full alloc/free churn above — that interleaving is
+#: the point: store traffic while the address caches are being churned
+#: by unrelated allocation lifecycles).
+_KV_OP_WEIGHTS = [
+    ("kv_get", 10), ("kv_put", 8), ("kv_del", 4), ("kv_mget", 5),
+]
+
+_KV_COLLECTIVE_WEIGHTS = [
+    ("kv_create", 3), ("kv_free", 2),
+]
+
 
 @dataclass
 class _Obj:
@@ -75,12 +87,26 @@ class _Obj:
     #: Lock guarding each element's RMWs this phase (-1 none): two
     #: lock_adds under *different* locks interleave their get/put.
     lockid: np.ndarray = None  # type: ignore[assignment]
+    #: kv stores only (``kind == "kv"``, where ``nelems`` counts
+    #: buckets): slots per bucket, access path, stripe lock id, the
+    #: live-key set per bucket (capacity tracking mirrors the
+    #: validator's), and the key universe draws come from.
+    slots: int = 0
+    access: str = ""
+    lock: int = -1
+    key_max: int = 0
+    keysets: Optional[List[set]] = None
 
     def __post_init__(self) -> None:
         self.writer = np.full(self.nelems, -1, dtype=np.int64)
         self.fenced = np.zeros(self.nelems, dtype=bool)
         self.readers = np.zeros(self.nelems, dtype=np.int64)
         self.lockid = np.full(self.nelems, -1, dtype=np.int64)
+        if self.kind == "kv":
+            self.keysets = [set() for _ in range(self.nelems)]
+
+    def live_keys(self) -> List[int]:
+        return sorted(k for ks in self.keysets or () for k in ks)
 
     def readable(self, t: int) -> np.ndarray:
         return (self.writer == -1) | ((self.writer == t) & self.fenced)
@@ -111,12 +137,20 @@ class ProgramGenerator:
 
     def __init__(self, seed: int, nthreads: int = 4,
                  max_live_objects: int = 5,
-                 max_elems: int = 192) -> None:
+                 max_elems: int = 192, kv: bool = False) -> None:
         self.rng = seeded_rng(seed, 0xF022)
         self.seed = seed
         self.nthreads = nthreads
         self.max_live = max_live_objects
         self.max_elems = max_elems
+        #: kv-store fuzzing is opt-in so the seed-indexed corpus of
+        #: pre-service programs keeps naming the same programs forever.
+        self.kv = kv
+        self._op_weights = (_OP_WEIGHTS + _KV_OP_WEIGHTS if kv
+                            else _OP_WEIGHTS)
+        self._collective_weights = (
+            _COLLECTIVE_WEIGHTS + _KV_COLLECTIVE_WEIGHTS if kv
+            else _COLLECTIVE_WEIGHTS)
         self._next_obj = 0
         self.objs: Dict[int, _Obj] = {}
         self.locks: List[LockDecl] = []
@@ -227,8 +261,13 @@ class ProgramGenerator:
     # -- per-thread op draws -----------------------------------------------
 
     def _draw_thread_op(self, t: int) -> Optional[Op]:
-        kind = self._weighted(_OP_WEIGHTS)
+        kind = self._weighted(self._op_weights)
         rng = self.rng
+        if kind in ("kv_get", "kv_put", "kv_del", "kv_mget"):
+            o = self._pick_obj(t, kinds=("kv",))
+            if o is None:
+                return None
+            return self._draw_kv_op(t, o, kind)
         if kind == "fence":
             for o in self.objs.values():
                 o.fenced[o.writer == t] = True
@@ -250,7 +289,7 @@ class ProgramGenerator:
             if not self.locks:
                 return None
             cands = [o for o in self.objs.values()
-                     if o.dtype in ("u4", "u8", "i8")
+                     if o.kind != "kv" and o.dtype in ("u4", "u8", "i8")
                      and (o.visible_to is None or o.visible_to == t)]
             lock = self.locks[int(rng.integers(len(self.locks)))]
             cands = [o for o in cands if o.lockable(lock.obj).any()]
@@ -306,6 +345,72 @@ class ProgramGenerator:
         return Op("put_rc", thread=t, obj=o.obj,
                   args={"r": r, "c": c,
                         "value": self._values(o.dtype, 1)[0]})
+
+    def _draw_kv_op(self, t: int, o: _Obj, kind: str) -> Optional[Op]:
+        """One kv op respecting the bucket-granular discipline.
+
+        Key draws are biased toward already-live keys so updates,
+        collisions and genuine deletes all happen; the key universe
+        (``key_max > nbuckets * slots``) guarantees both bucket
+        collisions and capacity pressure."""
+        rng = self.rng
+        nb = o.nelems
+        readable = o.readable(t)
+        writable = o.writable(t)
+
+        def draw_key(bias_live: float) -> int:
+            live = o.live_keys()
+            if live and rng.random() < bias_live:
+                return int(live[int(rng.integers(len(live)))])
+            return int(rng.integers(o.key_max))
+
+        if kind == "kv_get":
+            for _ in range(6):
+                key = draw_key(0.5)
+                if readable[key % nb]:
+                    o.mark_read(t, key % nb)
+                    return Op("kv_get", thread=t, obj=o.obj,
+                              args={"key": key})
+            return None
+        if kind == "kv_mget":
+            keys = []
+            for _ in range(int(rng.integers(2, 7))):
+                key = draw_key(0.5)
+                if readable[key % nb]:
+                    keys.append(key)
+                    o.mark_read(t, key % nb)
+            if not keys:
+                return None
+            return Op("kv_mget", thread=t, obj=o.obj,
+                      args={"keys": keys})
+        if kind == "kv_put":
+            for _ in range(8):
+                key = draw_key(0.3)
+                b = key % nb
+                ks = o.keysets[b]
+                if not writable[b]:
+                    continue
+                if key not in ks and len(ks) >= o.slots:
+                    continue
+                o.writer[b] = t
+                o.fenced[b] = True   # fences inside the lock ("s")
+                ks.add(key)
+                return Op("kv_put", thread=t, obj=o.obj,
+                          args={"key": key,
+                                "value": int(rng.integers(1000))})
+            return None
+        # kv_del (deleting an absent key is legal and checked: the
+        # found-flag return is deterministic under the discipline).
+        for _ in range(6):
+            key = draw_key(0.7)
+            b = key % nb
+            if not writable[b]:
+                continue
+            o.writer[b] = t
+            o.fenced[b] = True
+            o.keysets[b].discard(key)
+            return Op("kv_del", thread=t, obj=o.obj, args={"key": key})
+        return None
 
     @staticmethod
     def _mat_linear(o: _Obj, r: int, c: int) -> int:
@@ -435,10 +540,55 @@ class ProgramGenerator:
             tuple(lst) for lst in per_thread)))
         return emitted
 
+    def _kv_create_args(self) -> Tuple[int, dict]:
+        rng = self.rng
+        obj = self._fresh_obj_id()
+        nbuckets = int(rng.integers(4, 9))
+        slots = int(rng.integers(2, 5))
+        access = str(rng.choice(("onesided", "rpc")))
+        lock = self.locks[int(rng.integers(len(self.locks)))].obj
+        span = 2 * slots
+        if access == "rpc":
+            # RPC handlers execute at the bucket's single home node.
+            blocksize = span * int(rng.choice((1, 2)))
+        else:
+            # Sub-span blocks make buckets straddle affinity
+            # boundaries — every fetch exercises segment splitting.
+            blocksize = int(rng.choice((2, span, span * 2)))
+        return obj, {"nbuckets": nbuckets, "slots": slots,
+                     "access": access, "lock": lock,
+                     "blocksize": blocksize}
+
     def _emit_collective(self, kind: Optional[str] = None) -> None:
         rng = self.rng
         if kind is None:
-            kind = self._weighted(_COLLECTIVE_WEIGHTS)
+            kind = self._weighted(self._collective_weights)
+        if kind == "kv_create":
+            if len(self.objs) >= self.max_live + len(self.scalars) \
+                    or not self.locks:
+                kind = "barrier"
+            else:
+                obj, args = self._kv_create_args()
+                self.objs[obj] = _Obj(
+                    obj=obj, kind="kv", nelems=args["nbuckets"],
+                    dtype="u8", blocksize=args["blocksize"],
+                    slots=args["slots"], access=args["access"],
+                    lock=args["lock"],
+                    key_max=args["nbuckets"] * (args["slots"] + 1))
+                self.phases.append(Phase(collective=Op(
+                    "kv_create", obj=obj, args=args)))
+                return
+        if kind == "kv_free":
+            kvs = [o for o in self.objs.values() if o.kind == "kv"]
+            if not kvs:
+                kind = "barrier"
+            else:
+                victim = kvs[int(rng.integers(len(kvs)))]
+                del self.objs[victim.obj]
+                self.phases.append(Phase(collective=Op(
+                    "kv_free", obj=victim.obj)))
+                self._clear_masks()
+                return
         if kind == "alloc":
             if len(self.objs) >= self.max_live + len(self.scalars):
                 kind = "free"
@@ -459,7 +609,8 @@ class ProgramGenerator:
                 return
         if kind == "free":
             freeable = [o for o in self.objs.values()
-                        if o.kind != "scalar" and o.visible_to is None]
+                        if o.kind not in ("scalar", "kv")
+                        and o.visible_to is None]
             if not freeable:
                 kind = "barrier"
             else:
@@ -504,6 +655,11 @@ class ProgramGenerator:
         self._emit_collective("alloc")
         self._emit_collective("barrier")
         emitted = 2
+        if self.kv:
+            # Guarantee at least one store exists from the start;
+            # later kv_create/kv_free churn may add/remove more.
+            self._emit_collective("kv_create")
+            emitted += 1
         while emitted < n_ops:
             emitted += self._emit_parallel(n_ops - emitted)
             self._emit_collective()
@@ -525,8 +681,19 @@ class ProgramGenerator:
 
 def generate_program(seed: int, n_ops: int = 100,
                      nthreads: int = 4, max_live_objects: int = 5,
-                     max_elems: int = 192) -> Program:
+                     max_elems: int = 192, kv: bool = False) -> Program:
     """One-shot convenience wrapper around :class:`ProgramGenerator`."""
     return ProgramGenerator(
         seed, nthreads=nthreads, max_live_objects=max_live_objects,
-        max_elems=max_elems).generate(n_ops)
+        max_elems=max_elems, kv=kv).generate(n_ops)
+
+
+def generate_service_program(seed: int, n_ops: int = 100,
+                             nthreads: int = 4,
+                             max_live_objects: int = 5,
+                             max_elems: int = 192) -> Program:
+    """A program with kv-store traffic mixed into the usual churn —
+    the service-level differential suite's generator entry point."""
+    return generate_program(seed, n_ops=n_ops, nthreads=nthreads,
+                            max_live_objects=max_live_objects,
+                            max_elems=max_elems, kv=True)

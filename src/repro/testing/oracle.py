@@ -66,6 +66,12 @@ def values_equal(a, b) -> bool:
             return False
         return len(a) == len(b) and all(
             values_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) or isinstance(b, dict):
+        # kv-store snapshots: plain {key: value} dicts.
+        if not (isinstance(a, dict) and isinstance(b, dict)):
+            return False
+        return a.keys() == b.keys() and all(
+            values_equal(a[k], b[k]) for k in a)
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         a, b = np.asarray(a), np.asarray(b)
         return a.dtype == b.dtype and a.shape == b.shape and bool(
@@ -79,6 +85,12 @@ class FlatOracle:
     def __init__(self, program: Program) -> None:
         self.program = program
         self.mem: Dict[int, np.ndarray] = {}
+        #: kv stores: object id -> flat model dict ({key: value}).
+        #: Capacity (bucket overflow) is the validator's concern; a
+        #: validated program never overflows, so the model needs no
+        #: bucket structure at all — that asymmetry is the point of a
+        #: differential oracle.
+        self.kv: Dict[int, Dict[int, int]] = {}
         #: Object id -> matrix geometry (tile-major mapping inputs).
         self.shapes: Dict[int, _ObjState] = {}
         self.result = OracleResult()
@@ -97,6 +109,8 @@ class FlatOracle:
                 for oi, op in enumerate(ops):
                     self._thread_op(op, (pi, t, oi))
         self.result.final = {k: v.copy() for k, v in self.mem.items()}
+        self.result.final.update(
+            {k: dict(v) for k, v in self.kv.items()})
         return self.result
 
     def _collective(self, op: Op, pi: int) -> None:
@@ -115,6 +129,10 @@ class FlatOracle:
         elif op.kind == "free":
             self.mem.pop(op.obj, None)
             self.shapes.pop(op.obj, None)
+        elif op.kind == "kv_create":
+            self.kv[op.obj] = {}
+        elif op.kind == "kv_free":
+            self.kv.pop(op.obj, None)
         elif op.kind == "all_reduce":
             dt = np.dtype(op.args["dtype"])
             vals = [dt.type(v) for v in op.args["values"]]
@@ -143,6 +161,19 @@ class FlatOracle:
         if op.kind in ("global_alloc", "local_alloc"):
             self.mem[op.obj] = np.zeros(a["nelems"],
                                         dtype=np.dtype(a["dtype"]))
+            return
+        if op.kind in ("kv_get", "kv_put", "kv_del", "kv_mget"):
+            kv = self.kv[op.obj]
+            if op.kind == "kv_get":
+                self.result.returns[key] = kv.get(a["key"], -1)
+            elif op.kind == "kv_put":
+                kv[a["key"]] = a["value"]
+            elif op.kind == "kv_del":
+                self.result.returns[key] = kv.pop(a["key"], None) \
+                    is not None
+            else:
+                self.result.returns[key] = [kv.get(k, -1)
+                                            for k in a["keys"]]
             return
         mem = self.mem[op.obj]
         dt = mem.dtype

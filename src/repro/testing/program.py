@@ -48,27 +48,35 @@ import numpy as np
 #: Op kinds that every thread executes together (one per phase).
 COLLECTIVE_KINDS = frozenset({
     "barrier", "split_barrier", "alloc", "alloc_matrix", "free",
-    "all_reduce", "broadcast",
+    "all_reduce", "broadcast", "kv_create", "kv_free",
 })
 
 #: Collectives that imply a fence on every thread (publish writes).
-FENCING_KINDS = frozenset({"barrier", "split_barrier", "free"})
+FENCING_KINDS = frozenset({"barrier", "split_barrier", "free",
+                           "kv_free"})
 
 #: Per-thread op kinds.
 THREAD_KINDS = frozenset({
     "get", "put", "put_strict", "memget", "memput", "memget_v",
     "memput_v", "gather", "fence", "compute", "poll", "lock_add",
     "ptr_walk", "get_rc", "put_rc", "memget_row", "global_alloc",
-    "local_alloc",
+    "local_alloc", "kv_get", "kv_put", "kv_del", "kv_mget",
 })
 
 #: Kinds whose return value is deterministic and compared against the
 #: oracle.  ``lock_add`` returns the pre-increment value, which depends
 #: on acquisition order — its *effect* is checked via final state only.
+#: kv lookups/deletes are deterministic under the kv discipline (one
+#: writer per bucket per phase), so their returns are compared too.
 CHECKED_KINDS = frozenset({
     "get", "memget", "memget_v", "gather", "ptr_walk", "get_rc",
-    "memget_row", "all_reduce", "broadcast",
+    "memget_row", "all_reduce", "broadcast", "kv_get", "kv_mget",
+    "kv_del",
 })
+
+#: Per-thread op kinds that target a kv store (see the kv discipline
+#: note in :func:`validate`).
+KV_THREAD_KINDS = frozenset({"kv_get", "kv_put", "kv_del", "kv_mget"})
 
 #: dtypes the generator draws from (exact under every arithmetic the
 #: programs perform, so oracle comparison is bit-strict).
@@ -269,16 +277,25 @@ class _ObjState:
 
     __slots__ = ("nelems", "dtype", "kind", "writer", "fenced",
                  "readers", "lockid", "visible_to", "blocksize",
-                 "rows", "cols", "tile_r", "tile_c")
+                 "rows", "cols", "tile_r", "tile_c", "slots",
+                 "keysets")
 
     def __init__(self, nelems: int, dtype: str, kind: str,
                  blocksize: int = 0, visible_to: Optional[int] = None,
                  rows: int = 0, cols: int = 0, tile_r: int = 0,
-                 tile_c: int = 0) -> None:
+                 tile_c: int = 0, slots: int = 0) -> None:
         self.nelems = nelems
         self.dtype = dtype
-        self.kind = kind           # "array" | "matrix" | "scalar"
+        self.kind = kind           # "array" | "matrix" | "scalar" | "kv"
         self.blocksize = blocksize
+        #: kv stores: slots per bucket (capacity) and the evolving set
+        #: of live keys per bucket, for overflow checking.  For kv
+        #: stores ``nelems`` counts *buckets* — the race discipline is
+        #: enforced at bucket granularity, since every kv op touches
+        #: whole buckets.
+        self.slots = slots
+        self.keysets = ([set() for _ in range(nelems)]
+                        if kind == "kv" else None)
         self.rows, self.cols = rows, cols
         self.tile_r, self.tile_c = tile_r, tile_c
         #: -1 free, -2 lock-touched, else writer thread id.
@@ -379,6 +396,12 @@ def validate(program: Program) -> None:
                 visible_to=t)
             return
         st = live(op.obj, t)
+        if op.kind in KV_THREAD_KINDS:
+            if st.kind != "kv":
+                raise ProgramError(f"{op.kind} on non-kv object {op.obj}")
+        elif st.kind == "kv":
+            raise ProgramError(
+                f"{op.kind} on kv store {op.obj} (use kv_* ops)")
         if op.kind == "lock_add":
             if op.args["lock"] not in lock_ids:
                 raise ProgramError(f"lock_add: {op.args['lock']} is "
@@ -400,6 +423,34 @@ def validate(program: Program) -> None:
                 lin = _matrix_linear(st, r, op.args["c"])
                 spans = [(lin, 1,
                           "r" if op.kind == "get_rc" else "w")]
+        elif op.kind in KV_THREAD_KINDS:
+            # kv discipline: bucket-granular.  Lookups read their
+            # key's bucket; updates are fenced writes ("s" — the
+            # one-sided path fences inside the lock before releasing,
+            # so the writer may re-read its bucket later in the
+            # phase).  PUTs additionally respect bucket capacity:
+            # occupancy counts *live* keys (deleted slots are
+            # immediately reusable), folded in program order — within
+            # a phase all same-bucket updates come from one thread,
+            # so program order is execution order.
+            keys = (list(op.args["keys"]) if op.kind == "kv_mget"
+                    else [op.args["key"]])
+            for k in keys:
+                if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+                    raise ProgramError(f"{op.kind}: bad key {k!r}")
+            if op.kind == "kv_put":
+                v = op.args["value"]
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    raise ProgramError(f"kv_put: bad value {v!r}")
+                key = op.args["key"]
+                ks = st.keysets[key % st.nelems]
+                if key not in ks and len(ks) >= st.slots:
+                    raise ProgramError(
+                        f"kv_put t{t}: bucket {key % st.nelems} of obj "
+                        f"{op.obj} would overflow ({st.slots} slots)")
+            mode = "r" if op.kind in ("kv_get", "kv_mget") else "s"
+            spans = [(b, 1, mode)
+                     for b in sorted({k % st.nelems for k in keys})]
         else:
             spans = _op_spans(op)
         if op.kind in ("get", "put", "put_strict"):
@@ -453,6 +504,10 @@ def validate(program: Program) -> None:
                 st.writer[start:start + cnt] = -2
                 st.fenced[start:start + cnt] = False
                 st.lockid[start:start + cnt] = lock
+        if op.kind == "kv_put":
+            st.keysets[op.args["key"] % st.nelems].add(op.args["key"])
+        elif op.kind == "kv_del":
+            st.keysets[op.args["key"] % st.nelems].discard(op.args["key"])
 
     for ph in program.phases:
         if ph.is_collective:
@@ -480,6 +535,35 @@ def validate(program: Program) -> None:
                     raise ProgramError(f"free of dead object {op.obj}")
                 if st.kind == "scalar":
                     raise ProgramError("scalars are static; no free")
+                if st.kind == "kv":
+                    raise ProgramError("kv stores are freed via kv_free")
+            elif op.kind == "kv_create":
+                if op.obj in objs or op.obj in lock_ids:
+                    raise ProgramError(f"object id {op.obj} reused")
+                a = op.args
+                nb, slots = a["nbuckets"], a["slots"]
+                if nb <= 0 or slots <= 0:
+                    raise ProgramError("kv_create: bad geometry")
+                access = a.get("access", "onesided")
+                if access not in ("onesided", "rpc"):
+                    raise ProgramError(
+                        f"kv_create: unknown access path {access!r}")
+                lock = a.get("lock", -1)
+                if lock != -1 and lock not in lock_ids:
+                    raise ProgramError(f"kv_create: {lock} is not a lock")
+                span = 2 * slots
+                bs = a.get("blocksize") or span
+                if access == "rpc" and bs % span != 0:
+                    raise ProgramError(
+                        "kv_create: rpc stores need bucket-aligned "
+                        f"blocks (blocksize {bs}, bucket span {span})")
+                objs[op.obj] = _ObjState(nb, "u8", "kv", blocksize=bs,
+                                         slots=slots)
+            elif op.kind == "kv_free":
+                st = objs.pop(op.obj, None)
+                if st is None or st.kind != "kv":
+                    raise ProgramError(
+                        f"kv_free of dead/non-kv object {op.obj}")
             if ph.fencing:
                 for st in objs.values():
                     st.writer[:] = -1
@@ -530,8 +614,8 @@ def live_objects_at_end(program: Program) -> List[int]:
             continue
         op = ph.collective
         assert op is not None
-        if op.kind in ("alloc", "alloc_matrix"):
+        if op.kind in ("alloc", "alloc_matrix", "kv_create"):
             live.add(op.obj)
-        elif op.kind == "free":
+        elif op.kind in ("free", "kv_free"):
             live.discard(op.obj)
     return sorted(live)

@@ -37,6 +37,7 @@ from repro.core.piggyback import PiggybackConfig, PiggybackMode
 from repro.network.params import MACHINES
 from repro.runtime.pointer import PointerToShared
 from repro.runtime.runtime import Runtime, RuntimeConfig
+from repro.service.kvstore import kv_create as kv_create_collective
 from repro.testing.oracle import (
     OpKey,
     OracleResult,
@@ -321,6 +322,24 @@ class _Driver:
             v = yield from th.all_broadcast(
                 a["value"] if t == 0 else None)
             self.returns[(pi, t, -1)] = canonical(v)
+        elif op.kind == "kv_create":
+            lock_id = a.get("lock", -1)
+            locks = [self.locks[lock_id]] if lock_id != -1 else None
+            store = yield from kv_create_collective(
+                th, a["nbuckets"], a["slots"],
+                access=a.get("access", "onesided"), locks=locks,
+                blocksize=a.get("blocksize"))
+            # Every thread builds an equivalent wrapper around the
+            # one collectively-allocated backing array.
+            self.objs[op.obj] = store
+            self.handle_map[store.array.handle] = store.array
+        elif op.kind == "kv_free":
+            store = self.objs[op.obj]
+            yield from th.all_free(store.array)
+            if t == 0:
+                self.objs.pop(op.obj, None)
+                self.handle_map.pop(store.array.handle, None)
+            self.after_fencing(th, f"kv_free@phase{pi}")
         else:  # pragma: no cover - validator rejects these
             raise ValueError(f"driver: unknown collective {op.kind!r}")
 
@@ -391,6 +410,14 @@ class _Driver:
         elif op.kind == "memget_row":
             record = yield from th.memget_row(obj, a["r"], a["c0"],
                                               a["nelems"])
+        elif op.kind == "kv_get":
+            record = yield from obj.get(th, a["key"])
+        elif op.kind == "kv_put":
+            yield from obj.put(th, a["key"], a["value"])
+        elif op.kind == "kv_del":
+            record = yield from obj.delete(th, a["key"])
+        elif op.kind == "kv_mget":
+            record = yield from obj.multi_get(th, a["keys"])
         else:  # pragma: no cover - validator rejects these
             raise ValueError(f"driver: unknown op {op.kind!r}")
         if record is not None and op.kind in CHECKED_KINDS:
@@ -453,7 +480,15 @@ def run_config(program: Program, point: ConfigPoint,
     for obj_id in live_objects_at_end(program):
         want = oracle.final.get(obj_id)
         obj = driver.objs.get(obj_id)
-        got = None if obj is None else obj.data
+        if obj is None:
+            got = None
+        elif isinstance(want, dict):
+            # kv stores compare at the service level: the decoded
+            # {key: value} snapshot vs the oracle's flat dict (slot
+            # placement inside buckets is an implementation detail).
+            got = obj.snapshot()
+        else:
+            got = obj.data
         if got is None:
             div("final", f"object {obj_id} missing at program end",
                 expected=want)
@@ -540,6 +575,7 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
          corpus_dir: Optional[str] = None,
          trace_dir: Optional[str] = None,
          fault_plan=None,
+         kv: bool = False,
          log=print) -> FuzzReport:
     """Generate-one, replay-everywhere, shrink-on-failure.
 
@@ -564,7 +600,8 @@ def fuzz(seeds, n_ops: int = 200, nthreads: int = 4,
     matrix = list(configs) if configs is not None else list(QUICK_MATRIX)
     report = FuzzReport(configs=[p.name for p in matrix])
     for seed in seeds:
-        program = generate_program(seed, n_ops=n_ops, nthreads=nthreads)
+        program = generate_program(seed, n_ops=n_ops, nthreads=nthreads,
+                                   kv=kv)
         report.seeds_run.append(seed)
         report.programs_run += 1
         report.ops_run += program.n_ops

@@ -121,6 +121,8 @@ def _sweep_statics(current: Program, budget: _Budget):
         used.add(op.obj)
         if op.kind == "lock_add":
             used.add(op.args["lock"])
+        elif op.kind == "kv_create" and op.args.get("lock", -1) != -1:
+            used.add(op.args["lock"])
     for s in current.scalars:
         if s.obj in used:
             continue

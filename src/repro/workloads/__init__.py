@@ -28,6 +28,13 @@ from repro.workloads.dis.transitive import (
     TransitiveParams,
     run_transitive,
 )
+from repro.workloads.kv_traffic import (
+    PoissonArrivals,
+    TrafficParams,
+    TrafficResult,
+    ZipfianKeys,
+    run_kv_traffic,
+)
 
 __all__ = [
     "MicroParams",
@@ -45,4 +52,9 @@ __all__ = [
     "run_corner_turn",
     "TransitiveParams",
     "run_transitive",
+    "PoissonArrivals",
+    "TrafficParams",
+    "TrafficResult",
+    "ZipfianKeys",
+    "run_kv_traffic",
 ]

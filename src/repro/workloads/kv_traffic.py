@@ -1,0 +1,366 @@
+"""Open-loop KV service traffic on the sharded event core.
+
+The service-level companion to the corpus skeleton: where the fuzz
+suite proves the KV *semantics* (differential vs. a flat-dict oracle),
+this module measures the KV *service* — flow-completion time (FCT) of
+millions of Zipf-keyed requests against bucket servers, under the two
+access paths the runtime offers:
+
+* a per-client remote-address cache **hit** models the one-sided path
+  (the NIC serves the bucket; no software on the server's critical
+  path), and
+* a **miss** models the AM/RPC path (dispatch + SVD lookup + handler
+  CPU, plus the bucket scan), after which the client installs the
+  bucket address in its LRU cache.
+
+Clients are **open loop**: each one draws Poisson arrivals and Zipfian
+keys up front and fires requests at their scheduled instants without
+ever waiting for replies, so service-time inflation shows up as FCT
+growth instead of silently throttling offered load.  Connections are
+persistent — the first request a client sends toward a server node
+pays a one-time setup round trip, folded into that request's latency.
+
+Layout invariance is engineered the same way as everywhere else in
+the sharded core: every random stream is keyed by *entity* (client id)
+through :class:`~repro.util.rng.StreamFamily`, all client state
+(LRU cache, connection set) is mutated at issue time by the client's
+own process, reply handlers are instantaneous, and FCTs land in
+fixed-edge log-binned histograms whose cross-shard merge is an
+elementwise sum — so ``shards=1/2/4`` produce bit-identical counts,
+digests and quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.params import MACHINES, MachineParams
+from repro.network.partition import lookahead_matrix, partition_nodes
+from repro.network.topology import make_topology
+from repro.sim.shard import ShardContext, ShardedSimulator
+from repro.util.rng import StreamFamily
+from repro.workloads.sharded import _commute_hash, _tq
+
+_MASK64 = (1 << 64) - 1
+
+#: Fixed histogram geometry: 256 log-spaced bins over [0.1 µs, 1 s].
+#: Fixed edges are what make the merge an elementwise sum.
+HIST_BINS = 256
+_HIST_LO_US = 0.1
+_HIST_HI_US = 1e6
+_LOG_LO = math.log(_HIST_LO_US)
+_LOG_SPAN = math.log(_HIST_HI_US) - _LOG_LO
+
+_GET_REQ_BYTES = 64
+_PUT_REQ_BYTES = 72
+_GET_REP_BYTES = 40
+_PUT_REP_BYTES = 32
+_CONN_BYTES = 64
+#: Server-side cost of accepting a persistent connection (beyond the
+#: handshake round trip itself).
+_CONN_SETUP_US = 5.0
+#: Bucket scan charged by the AM handler, per slot.
+_KV_SCAN_US = 0.02
+#: Extra handler cost of a mutating request (lock + write-back).
+_PUT_EXTRA_US = 0.3
+
+
+def hist_edges() -> np.ndarray:
+    """The (BINS + 1) bin edges in µs, shared by every shard."""
+    return np.exp(_LOG_LO + _LOG_SPAN * np.arange(HIST_BINS + 1)
+                  / HIST_BINS)
+
+
+def _bin_of(fct_us: float) -> int:
+    if fct_us <= _HIST_LO_US:
+        return 0
+    b = int((math.log(fct_us) - _LOG_LO) / _LOG_SPAN * HIST_BINS)
+    return min(b, HIST_BINS - 1)
+
+
+def hist_quantile(hist: np.ndarray, q: float) -> float:
+    """Quantile from a merged histogram: the upper edge of the bin
+    where the cumulative count crosses ``q`` — a pure function of the
+    summed counts, hence layout-invariant."""
+    total = int(hist.sum())
+    if total == 0:
+        return 0.0
+    cum = np.cumsum(hist)
+    idx = int(np.searchsorted(cum, q * total, side="left"))
+    return float(hist_edges()[min(idx + 1, HIST_BINS)])
+
+
+class ZipfianKeys:
+    """Zipf(s) key draws over ``[0, nkeys)`` by inverse-CDF lookup —
+    key 0 is the hottest; rank order *is* key order, so rank-frequency
+    checks need no sorting."""
+
+    def __init__(self, nkeys: int, s: float) -> None:
+        if nkeys < 1:
+            raise ValueError("nkeys must be positive")
+        self.nkeys = nkeys
+        self.s = float(s)
+        weights = np.arange(1, nkeys + 1, dtype=np.float64) ** -self.s
+        self._cdf = np.cumsum(weights) / weights.sum()
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` keys as int64 — a pure function of the generator
+        state, so entity-keyed generators give layout-invariant
+        streams."""
+        return np.searchsorted(self._cdf, rng.random(n),
+                               side="right").astype(np.int64)
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrival process: exponential inter-arrival
+    gaps with the given mean (µs)."""
+
+    def __init__(self, mean_gap_us: float) -> None:
+        if mean_gap_us <= 0:
+            raise ValueError("mean_gap_us must be positive")
+        self.mean_gap_us = float(mean_gap_us)
+
+    def gaps(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_gap_us, n)
+
+    def schedule(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Absolute arrival instants (µs from client start)."""
+        return np.cumsum(self.gaps(rng, n))
+
+
+@dataclass
+class TrafficParams:
+    """One KV-traffic experiment."""
+
+    nnodes: int = 8
+    nclients: int = 32
+    nkeys: int = 4096
+    nbuckets: int = 512
+    slots_per_bucket: int = 4
+    requests: int = 100_000          # total across all clients
+    mean_gap_us: float = 2.0         # per-client inter-arrival mean
+    zipf_s: float = 0.9
+    put_frac: float = 0.1
+    cache_capacity: int = 16         # per-client bucket-address LRU
+    seed: int = 0
+    machine: str = "gm"
+
+    def per_client(self) -> int:
+        return max(1, -(-self.requests // self.nclients))
+
+
+@dataclass
+class TrafficResult:
+    """Merged, layout-invariant outcome of one traffic run."""
+
+    requests: int
+    hits: int
+    misses: int
+    conns: int
+    puts: int
+    gets: int
+    hist: np.ndarray
+    hist_hit: np.ndarray
+    hist_miss: np.ndarray
+    digests: dict
+    now: float
+    events: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def quantiles(self) -> dict:
+        return {
+            "p50_us": hist_quantile(self.hist, 0.50),
+            "p99_us": hist_quantile(self.hist, 0.99),
+            "hit_p50_us": hist_quantile(self.hist_hit, 0.50),
+            "hit_p99_us": hist_quantile(self.hist_hit, 0.99),
+            "miss_p50_us": hist_quantile(self.hist_miss, 0.50),
+            "miss_p99_us": hist_quantile(self.hist_miss, 0.99),
+        }
+
+
+class _ClientLRU:
+    """Bucket-address LRU; dict insertion order is the recency list."""
+
+    __slots__ = ("cap", "_d")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self._d = {}
+
+    def touch(self, bucket: int) -> bool:
+        d = self._d
+        if bucket in d:
+            del d[bucket]
+            d[bucket] = True
+            return True
+        if len(d) >= self.cap:
+            del d[next(iter(d))]
+        d[bucket] = True
+        return False
+
+
+class _TrafficCore:
+    """Per-shard traffic state: the clients homed here, their caches
+    and connection sets, and this shard's share of the histograms."""
+
+    def __init__(self, ctx: ShardContext, p: TrafficParams,
+                 part, lo: int, hi: int) -> None:
+        self.ctx = ctx
+        self.p = p
+        self.sim = ctx.sim
+        m = MACHINES[p.machine]
+        self.t = m.transport
+        self.topo = make_topology(m, p.nnodes)
+        self.part = part
+        fam = StreamFamily(p.seed, "kv-traffic")
+        self.fam = fam
+        self.zipf = ZipfianKeys(p.nkeys, p.zipf_s)
+        self.arrivals = PoissonArrivals(p.mean_gap_us)
+        self.hist = np.zeros(HIST_BINS, dtype=np.int64)
+        self.hist_hit = np.zeros(HIST_BINS, dtype=np.int64)
+        self.hist_miss = np.zeros(HIST_BINS, dtype=np.int64)
+        self.counts = {"requests": 0, "hits": 0, "misses": 0,
+                       "conns": 0, "puts": 0, "gets": 0}
+        self.digests = {}
+        self._am_extra = (self.t.dispatch_us + self.t.svd_lookup_us
+                          + self.t.handler_cpu_us
+                          + _KV_SCAN_US * p.slots_per_bucket)
+        for client in range(p.nclients):
+            node = client % p.nnodes
+            if lo <= node < hi:
+                ctx.spawn(self.client(client, node),
+                          name=f"kv-client{client}")
+
+    # -- wire model ----------------------------------------------------
+
+    def _latency(self, src: int, dst: int, nbytes: int,
+                 extra: float = 0.0) -> float:
+        return (self.topo.latency(src, dst)
+                + self.t.wire_time(nbytes) + extra)
+
+    def server_of(self, key: int) -> tuple:
+        bucket = key % self.p.nbuckets
+        return bucket, bucket % self.p.nnodes
+
+    # -- client (open loop; never blocks on a reply) -------------------
+
+    def client(self, client: int, node: int):
+        p, sim, t = self.p, self.sim, self.t
+        n = p.per_client()
+        sched = self.arrivals.schedule(
+            self.fam.child("arrivals").rng(client), n)
+        keys = self.zipf.draw(self.fam.child("keys").rng(client), n)
+        puts = self.fam.child("ops").rng(client).random(n) < p.put_frac
+        cache = _ClientLRU(p.cache_capacity)
+        connected = set()
+        now = 0.0
+        for seq in range(n):
+            gap = float(sched[seq]) - now
+            now = float(sched[seq])
+            yield sim.sleep(gap)
+            key = int(keys[seq])
+            is_put = bool(puts[seq])
+            bucket, server = self.server_of(key)
+            extra = t.o_sw_us + t.o_send_us
+            if server not in connected:
+                connected.add(server)
+                self.counts["conns"] += 1
+                # Persistent-connection setup: one extra round trip
+                # folded into this first request's latency.
+                extra += (2 * self._latency(node, server, _CONN_BYTES)
+                          + _CONN_SETUP_US)
+            hit = cache.touch(bucket)
+            req_bytes = _PUT_REQ_BYTES if is_put else _GET_REQ_BYTES
+            self.ctx.send(
+                self.part.shard_of(server), "kv_req",
+                (server, node, client, seq, hit, is_put, _tq(sim.now)),
+                latency=self._latency(node, server, req_bytes, extra),
+                nbytes=req_bytes)
+
+    # -- handlers (instantaneous; costs ride in reply latency) ---------
+
+    def handle_req(self, payload) -> None:
+        server, node, client, seq, hit, is_put, t0 = payload
+        service = 0.0 if hit else self._am_extra
+        if is_put:
+            service += _PUT_EXTRA_US
+        rep_bytes = _PUT_REP_BYTES if is_put else _GET_REP_BYTES
+        self.ctx.send(
+            self.part.shard_of(node), "kv_rep",
+            (client, seq, hit, is_put, t0),
+            latency=self._latency(server, node, rep_bytes, service),
+            nbytes=rep_bytes)
+
+    def handle_rep(self, payload) -> None:
+        client, seq, hit, is_put, t0 = payload
+        fct = self.sim.now + self.t.o_recv_us - t0 / 1e6
+        b = _bin_of(fct)
+        self.hist[b] += 1
+        (self.hist_hit if hit else self.hist_miss)[b] += 1
+        c = self.counts
+        c["requests"] += 1
+        c["hits" if hit else "misses"] += 1
+        c["puts" if is_put else "gets"] += 1
+        self.digests[client] = (
+            self.digests.get(client, 0)
+            + _commute_hash(seq, int(hit), int(is_put), _tq(fct))
+        ) & _MASK64
+
+
+def build_traffic_shard(ctx: ShardContext, params: dict) -> None:
+    """Shard-program builder (picklable via the params dict)."""
+    p = TrafficParams(**params)
+    part = partition_nodes(p.nnodes, ctx.nshards)
+    lo, hi = part.range_of(ctx.shard)
+    ctx.set_nodes(lo, hi)
+    core = _TrafficCore(ctx, p, part, lo, hi)
+    ctx.on_message("kv_req", core.handle_req)
+    ctx.on_message("kv_rep", core.handle_rep)
+    ctx.publish("hist", core.hist)
+    ctx.publish("hist_hit", core.hist_hit)
+    ctx.publish("hist_miss", core.hist_miss)
+    ctx.publish("counts", core.counts)
+    ctx.publish("digests", core.digests)
+
+
+def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
+                   mode: str = "inproc",
+                   mp_context=None) -> TrafficResult:
+    """Run one traffic experiment under ``nshards`` shards and merge
+    the per-shard outputs into a layout-invariant result."""
+    if nshards > params.nnodes:
+        raise ValueError(
+            f"nshards={nshards} exceeds {params.nnodes} nodes")
+    m = MACHINES[params.machine]
+    part = partition_nodes(params.nnodes, nshards)
+    la = lookahead_matrix(m, params.nnodes, part)
+    sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
+                               mp_context=mp_context)
+    run = sharded.run(build_traffic_shard,
+                      dict(params=params.__dict__.copy()))
+    hist = np.zeros(HIST_BINS, dtype=np.int64)
+    hist_hit = np.zeros(HIST_BINS, dtype=np.int64)
+    hist_miss = np.zeros(HIST_BINS, dtype=np.int64)
+    counts = {"requests": 0, "hits": 0, "misses": 0, "conns": 0,
+              "puts": 0, "gets": 0}
+    digests = {}
+    for out in run.outputs:
+        hist += np.asarray(out["hist"])
+        hist_hit += np.asarray(out["hist_hit"])
+        hist_miss += np.asarray(out["hist_miss"])
+        for k in counts:
+            counts[k] += out["counts"][k]
+        digests.update(out["digests"])
+    return TrafficResult(
+        requests=counts["requests"], hits=counts["hits"],
+        misses=counts["misses"], conns=counts["conns"],
+        puts=counts["puts"], gets=counts["gets"], hist=hist,
+        hist_hit=hist_hit, hist_miss=hist_miss, digests=digests,
+        now=run.now, events=run.events)

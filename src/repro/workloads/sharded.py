@@ -64,6 +64,9 @@ _FNV_PRIME = 0x100000001B3
 _LOCAL_ACCESS_US = 0.3
 _LOCK_LOCAL_US = 0.5
 _CTRL_BYTES = 32
+#: Per-slot bucket-scan cost a kv handler folds into its reply
+#: latency (mirrors the full runtime's KVStore rpc handler cost).
+_KV_SCAN_US = 0.02
 
 
 def _jitter(a: int, b: int) -> float:
@@ -347,13 +350,14 @@ def _object_plan(program: Program, nnodes: int):
     infos, counts, current = {}, {}, {}
 
     def register(obj, home, nelems, dtype, kind="array", rows=0,
-                 cols=0, tile_r=0, tile_c=0):
+                 cols=0, tile_r=0, tile_c=0, slots=0):
         k = counts.get(obj, 0)
         counts[obj] = k + 1
         oid = (obj, k)
         infos[oid] = {"nelems": nelems, "dtype": dtype, "kind": kind,
                       "home": home % nnodes, "rows": rows,
-                      "cols": cols, "tile_r": tile_r, "tile_c": tile_c}
+                      "cols": cols, "tile_r": tile_r, "tile_c": tile_c,
+                      "slots": slots}
         current[obj] = oid
 
     for s in program.scalars:
@@ -370,7 +374,17 @@ def _object_plan(program: Program, nnodes: int):
                          a["dtype"], kind="matrix", rows=a["rows"],
                          cols=a["cols"], tile_r=a["tile_r"],
                          tile_c=a["tile_c"])
-            elif op.kind == "free":
+            elif op.kind == "kv_create":
+                # Bucket image: ``nbuckets`` buckets of ``slots``
+                # (key_enc, value) cell pairs, homed like any other
+                # collective alloc.  Access path / lock / blocksize
+                # are full-runtime concerns; the skeleton serves every
+                # kv op at the home node, so they do not change its
+                # virtual-time behaviour.
+                register(op.obj, op.obj,
+                         a["nbuckets"] * 2 * a["slots"], "u8",
+                         kind="kv", slots=a["slots"])
+            elif op.kind in ("free", "kv_free"):
                 current.pop(op.obj, None)
         else:
             for tid, lst in enumerate(ph.per_thread):
@@ -515,9 +529,74 @@ class _SkeletonCore:
                       (req, b"", _tq(self.sim.now)),
                       _CTRL_BYTES, extra=self.service_us)
 
+    def handle_skv(self, payload) -> None:
+        oid, verb, args, src_node, req = payload
+        reply = self._kv_exec(oid, verb, args)
+        data = np.asarray(reply, dtype="<i8").tobytes()
+        self.transmit(self.infos[oid]["home"], src_node, "srep",
+                      (req, data, _tq(self.sim.now)),
+                      len(data) + _CTRL_BYTES,
+                      extra=self.service_us
+                      + _KV_SCAN_US * self.infos[oid]["slots"])
+
     def handle_srep(self, payload) -> None:
         req, data, served = payload
         self._pending.pop(req).succeed(value=(data, served))
+
+    # -- kv execution (at the home node, instantaneous) ----------------
+
+    def _kv_exec(self, oid, verb, args):
+        """Apply one kv op to the home image; returns the reply as a
+        list of ints (values for get/mget, found-flag for del, empty
+        for put).  Same slot discipline as the full-runtime KVStore —
+        matching key first, else first empty — so decoded images stay
+        byte-comparable with runtime snapshots."""
+        info = self.infos[oid]
+        slots = info["slots"]
+        span = 2 * slots
+        nbuckets = info["nelems"] // span
+        img = self.images[oid]
+
+        def cells(b):
+            off = b * span * 8
+            return np.frombuffer(bytes(img[off:off + span * 8]),
+                                 dtype=np.uint64)
+
+        def lookup(key):
+            c = cells(key % nbuckets)
+            enc = key + 1
+            for s in range(slots):
+                if int(c[2 * s]) == enc:
+                    return int(c[2 * s + 1])
+            return -1
+
+        if verb == "kv_get":
+            return [lookup(args[0])]
+        if verb == "kv_mget":
+            return [lookup(k) for k in args]
+        b = args[0] % nbuckets
+        c = cells(b)
+        enc = args[0] + 1
+        if verb == "kv_put":
+            slot = next((s for s in range(slots)
+                         if int(c[2 * s]) == enc), -1)
+            if slot < 0:
+                slot = next((s for s in range(slots)
+                             if int(c[2 * s]) == 0), -1)
+            # Validated programs never overflow a bucket (the
+            # program checker tracks occupancy), so slot >= 0 here.
+            off = (b * span + 2 * slot) * 8
+            img[off:off + 16] = np.array(
+                [enc, args[1]], dtype=np.uint64).tobytes()
+            return []
+        # kv_del
+        for s in range(slots):
+            if int(c[2 * s]) == enc:
+                off = (b * span + 2 * s) * 8
+                img[off:off + 8] = np.zeros(1, dtype=np.uint64) \
+                    .tobytes()
+                return [1]
+        return [0]
 
     # -- request helpers (generators) ----------------------------------
 
@@ -555,6 +634,29 @@ class _SkeletonCore:
             return
         oid = eff[op.obj]
         info = self.infos[oid]
+        if k in ("kv_get", "kv_put", "kv_del", "kv_mget"):
+            a = op.args
+            if k == "kv_put":
+                body_args = (a["key"], a["value"])
+            elif k == "kv_mget":
+                body_args = tuple(a["keys"])
+            else:
+                body_args = (a["key"],)
+            # Every kv op is a strict round trip (the full runtime's
+            # puts fence inside the bucket lock), so a later reader's
+            # request timestamp is ordered after this reply.
+            if info["home"] == tid:
+                yield sim.sleep(t.o_sw_us + _LOCAL_ACCESS_US
+                                + _KV_SCAN_US * info["slots"])
+                reply = self._kv_exec(oid, k, body_args)
+                data = np.asarray(reply, dtype="<i8").tobytes()
+                served = _tq(sim.now)
+            else:
+                data, served = yield from self._request(
+                    tid, "skv", (oid, k, body_args), _CTRL_BYTES)
+            self.digests[tid] = _mix(
+                self.digests[tid], oid[0], oid[1], _fnv(data), served)
+            return
         dt = np.dtype(info["dtype"])
         for start, cnt, mode, values in _skeleton_spans(op, info):
             if cnt == 0:
@@ -615,9 +717,9 @@ class _SkeletonCore:
                 stages = max(1, int(np.ceil(np.log2(self.nnodes))))
                 return stages * (m.wire_base_us + 3 * m.wire_per_hop_us)
             return 0.0
-        if op.kind in ("alloc", "alloc_matrix"):
+        if op.kind in ("alloc", "alloc_matrix", "kv_create"):
             return 1.0
-        if op.kind == "free":
+        if op.kind in ("free", "kv_free"):
             return 0.2
         return 0.0
 
@@ -665,13 +767,19 @@ def build_corpus_shard(ctx: ShardContext, program_json: str,
         ctx.sim, m, program, range(lo, hi), transmit,
         barrier=lambda gen: shard_barrier.wait(generation=gen),
         fences=fences)
-    for kind in ("sput", "sack", "sget", "sadd", "srep"):
+    for kind in ("sput", "sack", "sget", "sadd", "srep", "skv"):
         ctx.on_message(kind, getattr(core, f"handle_{kind}"))
     for tid in range(lo, hi):
         ctx.spawn(core.thread(tid), name=f"skel-t{tid}")
-    ctx.publish("mem", {f"{o}:{k}": bytes(img)
+    # Publish the *live* bytearrays — the builder runs before the sim,
+    # so taking ``bytes(img)`` here would freeze the zero-initialised
+    # images; the merge below copies them after the run completes.
+    ctx.publish("mem", {f"{o}:{k}": img
                         for (o, k), img in core.images.items()
                         if (o, k) in core.final_live})
+    ctx.publish("kvinfo", {f"{o}:{k}": core.infos[(o, k)]["slots"]
+                           for (o, k) in core.final_live
+                           if core.infos[(o, k)]["kind"] == "kv"})
     ctx.publish("digests", core.digests)
     ctx.publish("finish", core.finish)
 
@@ -694,10 +802,21 @@ def run_corpus_sharded(program: Program, nshards: int, *,
     run = sharded.run(build_corpus_shard,
                       dict(program_json=program.dumps(),
                            machine=machine))
-    mem, digests, finish = {}, {}, {}
+    mem, kvinfo, digests, finish = {}, {}, {}, {}
     for out in run.outputs:
-        mem.update(out["mem"])
+        mem.update({k: bytes(v) for k, v in out["mem"].items()})
+        kvinfo.update(out.get("kvinfo", {}))
         digests.update(out["digests"])
         finish.update(out["finish"])
-    return {"mem": mem, "digests": digests, "finish": finish,
-            "now": run.now, "events": run.events, "run": run}
+    return {"mem": mem, "kvinfo": kvinfo, "digests": digests,
+            "finish": finish, "now": run.now, "events": run.events,
+            "run": run}
+
+
+def skeleton_kv_dict(image: bytes) -> dict:
+    """Decode a skeleton kv image back to a flat ``{key: value}`` dict
+    (cell pairs are ``(key_enc, value)``; ``key_enc = 0`` is empty, so
+    bucket geometry is irrelevant to the decode)."""
+    cells = np.frombuffer(image, dtype=np.uint64)
+    return {int(cells[i]) - 1: int(cells[i + 1])
+            for i in range(0, len(cells), 2) if int(cells[i]) != 0}

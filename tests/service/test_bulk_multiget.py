@@ -1,0 +1,91 @@
+"""Bulk-engine multi-get (satellite 4).
+
+A one-sided store built with a sub-span blocksize makes every bucket
+straddle affinity boundaries, so each fetch is split into per-home
+segments and the vectored path coalesces same-home segments into
+single wire messages.  None of that may be observable in the data: a
+batched fetch must match N scalar memgets byte for byte — on a healthy
+fabric and under fault plans (where retries/fallbacks reorder wire
+traffic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import resolve_profile
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+from repro.service import KV_MISSING, kv_create
+
+KEYS = [0, 13, 7, 25, 100, 13, 31]
+
+
+def _run(kernel, fault_plan=None):
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=8,
+                        threads_per_node=2, fault_plan=fault_plan)
+    rt = Runtime(cfg)
+    rt.spawn(kernel)
+    rt.run()
+    return rt
+
+
+@pytest.mark.parametrize("profile", [None, "drop", "chaos"])
+def test_batched_bucket_fetch_matches_scalar_memgets(profile):
+    plan = resolve_profile(profile, 23) if profile is not None else None
+    done = []
+
+    def kernel(th):
+        # blocksize=2 < span=8: every bucket crosses affinity
+        # boundaries, so the batched fetch exercises segment
+        # splitting and cross-home pipelining.
+        store = yield from kv_create(th, nbuckets=12, slots_per_bucket=4,
+                                     access="onesided", blocksize=2)
+        if th.id == 0:
+            for k in range(30):
+                yield from store.put(th, k, 7 * k + 1)
+        yield from th.barrier()
+        if th.id == 5:
+            buckets = sorted({store.bucket_of(k) for k in KEYS})
+            spans = [(store._base(b), store.span) for b in buckets]
+            batched = yield from th.memget_v(store.array, spans)
+            for (base, n), got in zip(spans, batched):
+                want = yield from th.memget(store.array, base, n)
+                assert got.tobytes() == want.tobytes(), (
+                    f"batched fetch of [{base}:{base + n}] diverged")
+            vals = yield from store.multi_get(th, KEYS)
+            for k, v in zip(KEYS, vals):
+                want = yield from store.get(th, k)
+                assert v == want
+            expect = [7 * k + 1 if k < 30 else KV_MISSING for k in KEYS]
+            assert vals == expect
+            done.append(True)
+        yield from th.barrier()
+
+    rt = _run(kernel, plan)
+    assert done == [True]
+    m = rt.metrics
+    assert m.kv_mgets == 1
+    assert m.bulk_transfers > 0
+    # Sub-span blocks force more planned segments than buckets fetched.
+    assert m.bulk_segments > len(set(k % 12 for k in KEYS))
+    if plan is not None:
+        assert m.faults_injected > 0, "fault plan injected nothing"
+
+
+def test_multi_get_empty_and_single_bucket():
+    results = {}
+
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=4, slots_per_bucket=4,
+                                     access="onesided", blocksize=2)
+        if th.id == 0:
+            yield from store.put(th, 2, 5)
+            results["empty"] = (yield from store.multi_get(th, []))
+            # Duplicate keys of one bucket: one span fetched, values
+            # replicated in input order.
+            results["dup"] = (yield from store.multi_get(th, [2, 2, 6]))
+        yield from th.barrier()
+
+    _run(kernel)
+    assert results["empty"] == []
+    assert results["dup"] == [5, 5, KV_MISSING]

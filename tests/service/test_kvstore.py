@@ -1,0 +1,192 @@
+"""Unit tests for the PGAS-resident KV store (both access paths)."""
+
+import numpy as np
+import pytest
+
+from repro.network import GM_MARENOSTRUM
+from repro.runtime import Runtime, RuntimeConfig
+from repro.service import (ACCESS_PATHS, KV_MISSING, KVFullError,
+                           KVStoreError, bucket_of, kv_create)
+
+
+def run_kernel(kernel, nthreads=8, tpn=2, machine=GM_MARENOSTRUM, **kw):
+    cfg = RuntimeConfig(machine=machine, nthreads=nthreads,
+                        threads_per_node=tpn, **kw)
+    rt = Runtime(cfg)
+    rt.spawn(kernel)
+    return rt, rt.run()
+
+
+@pytest.mark.parametrize("access", ACCESS_PATHS)
+def test_put_get_delete_roundtrip(access):
+    """Every thread writes its own keys; every thread reads them all
+    back; deletes report presence truthfully."""
+    out = {}
+
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=16, slots_per_bucket=4,
+                                     access=access)
+        yield from store.put(th, th.id, 100 + th.id)
+        yield from th.barrier()
+        got = []
+        for key in range(th.nthreads):
+            v = yield from store.get(th, key)
+            got.append(v)
+        missing = yield from store.get(th, 999)
+        yield from th.barrier()
+        existed = yield from store.delete(th, th.id)
+        ghost = yield from store.delete(th, 500 + th.id)
+        yield from th.barrier()
+        gone = yield from store.get(th, (th.id + 1) % th.nthreads)
+        out[th.id] = (got, missing, existed, ghost, gone)
+        if th.id == 0:
+            out["snapshot"] = store.snapshot()
+
+    run_kernel(kernel)
+    for tid in range(8):
+        got, missing, existed, ghost, gone = out[tid]
+        assert got == [100 + k for k in range(8)]
+        assert missing == KV_MISSING
+        assert existed is True
+        assert ghost is False
+        assert gone == KV_MISSING
+    assert out["snapshot"] == {}
+
+
+@pytest.mark.parametrize("access", ACCESS_PATHS)
+def test_put_overwrites_in_place(access):
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=4, slots_per_bucket=2,
+                                     access=access)
+        if th.id == 0:
+            for v in (1, 2, 3):
+                yield from store.put(th, 5, v)
+        yield from th.barrier()
+        v = yield from store.get(th, 5)
+        assert v == 3
+        if th.id == 0:
+            assert store.snapshot() == {5: 3}
+
+    run_kernel(kernel)
+
+
+@pytest.mark.parametrize("access", ACCESS_PATHS)
+def test_multi_get_mixed_hit_miss(access):
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=8, slots_per_bucket=4,
+                                     access=access)
+        if th.id == 0:
+            for k in range(10):
+                yield from store.put(th, k, k * k)
+        yield from th.barrier()
+        keys = [9, 0, 77, 3, 3, 12]
+        vals = yield from store.multi_get(th, keys)
+        assert vals == [81, 0, KV_MISSING, 9, 9, KV_MISSING]
+
+    run_kernel(kernel)
+
+
+@pytest.mark.parametrize("access", ACCESS_PATHS)
+def test_bucket_overflow_raises(access):
+    """A bucket holds ``slots`` distinct keys; one more raises, and the
+    store is left unchanged (the failed put writes nothing)."""
+    caught = []
+
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=1, slots_per_bucket=2,
+                                     access=access)
+        if th.id == 0:
+            yield from store.put(th, 0, 10)
+            yield from store.put(th, 1, 11)
+            try:
+                yield from store.put(th, 2, 12)
+            except KVFullError:
+                caught.append(True)
+            # Overwriting a resident key must still work when full.
+            yield from store.put(th, 0, 99)
+            assert store.snapshot() == {0: 99, 1: 11}
+        yield from th.barrier()
+
+    run_kernel(kernel)
+    assert caught == [True]
+
+
+def test_rpc_requires_bucket_aligned_blocksize():
+    def kernel(th):
+        with pytest.raises(KVStoreError):
+            yield from kv_create(th, nbuckets=4, slots_per_bucket=2,
+                                 access="rpc", blocksize=3)
+        yield from th.barrier()
+
+    run_kernel(kernel, nthreads=2, tpn=1)
+
+
+def test_key_value_validation():
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=4, slots_per_bucket=2)
+        if th.id == 0:
+            with pytest.raises(KVStoreError):
+                yield from store.put(th, -1, 5)
+            with pytest.raises(KVStoreError):
+                yield from store.put(th, 0, -5)
+            with pytest.raises(KVStoreError):
+                yield from store.get(th, 2 ** 62)
+        yield from th.barrier()
+
+    run_kernel(kernel, nthreads=2, tpn=1)
+
+
+def test_unknown_access_path_rejected():
+    def kernel(th):
+        with pytest.raises(KVStoreError):
+            yield from kv_create(th, nbuckets=4, access="telepathy")
+        yield from th.barrier()
+
+    run_kernel(kernel, nthreads=2, tpn=1)
+
+
+def test_bucket_of_is_total():
+    assert all(0 <= bucket_of(k, 7) < 7 for k in range(100))
+
+
+def test_access_paths_produce_identical_bucket_images():
+    """The same op sequence through one-sided and RPC paths must leave
+    byte-identical backing arrays — slot choice is deterministic."""
+    images = {}
+
+    def make_kernel(access):
+        def kernel(th):
+            store = yield from kv_create(
+                th, nbuckets=8, slots_per_bucket=4, access=access,
+                blocksize=8)
+            if th.id == 0:
+                for k in (3, 11, 19, 3, 5):   # collisions + overwrite
+                    yield from store.put(th, k, 1000 + k)
+                yield from store.delete(th, 11)
+                yield from store.put(th, 27, 7)  # reuses 11's slot
+            yield from th.barrier()
+            if th.id == 0:
+                images[access] = np.array(store.array.data, copy=True)
+        return kernel
+
+    for access in ACCESS_PATHS:
+        run_kernel(make_kernel(access))
+    assert np.array_equal(images["onesided"], images["rpc"])
+
+
+def test_metrics_counters():
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=8, access="rpc",
+                                     blocksize=8)
+        if th.id == 0:
+            yield from store.put(th, 1, 2)
+            yield from store.get(th, 1)
+            yield from store.multi_get(th, [1, 2])
+            yield from store.delete(th, 1)
+        yield from th.barrier()
+
+    rt, _ = run_kernel(kernel)
+    m = rt.metrics
+    assert m.kv_puts == 1 and m.kv_gets == 1
+    assert m.kv_mgets == 1 and m.kv_dels == 1
+    assert m.kv_rpc_ops > 0 and m.kv_onesided_ops == 0
