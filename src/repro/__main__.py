@@ -313,17 +313,38 @@ def kvtraffic_main(argv) -> int:
     ap.add_argument("--skew", type=float, default=0.9,
                     help="Zipf exponent s (default 0.9)")
     ap.add_argument("--shards", type=int, default=1)
+    ap.add_argument("--shard-backend", choices=("inproc", "mp"),
+                    default="inproc",
+                    help="sharded-core backend (default inproc)")
     ap.add_argument("--nclients", type=int, default=32)
     ap.add_argument("--nnodes", type=int, default=8)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--machine", default="gm")
+    ap.add_argument("--slo-target-us", type=float, default=0.0,
+                    metavar="US",
+                    help="arm the streaming SLO monitor with this "
+                         "latency target (µs); prints windowed "
+                         "burn-rate / anomaly summary")
+    ap.add_argument("--slo-window-us", type=float, default=5000.0,
+                    metavar="US",
+                    help="SLO rolling-window width in virtual µs "
+                         "(default 5000)")
+    ap.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="arm the flight recorder and write run "
+                         "artifacts (events.jsonl, trace.json, "
+                         "slo.json, shard_summary.json) here — "
+                         "feed the directory to 'python -m repro "
+                         "report'")
     args = ap.parse_args(argv)
 
     p = TrafficParams(nnodes=args.nnodes, nclients=args.nclients,
                       requests=args.requests, zipf_s=args.skew,
-                      seed=args.seed, machine=args.machine)
+                      seed=args.seed, machine=args.machine,
+                      slo_target_us=args.slo_target_us,
+                      slo_window_us=args.slo_window_us)
     t0 = time.time()
-    res = run_kv_traffic(p, args.shards)
+    res = run_kv_traffic(p, args.shards, mode=args.shard_backend,
+                         trace=args.trace_dir is not None)
     q = res.quantiles()
     print(f"kvtraffic s={args.skew} shards={args.shards}: "
           f"{res.requests} requests ({res.gets} get / {res.puts} put), "
@@ -332,7 +353,56 @@ def kvtraffic_main(argv) -> int:
           f"one-sided p50={q['hit_p50_us']:.1f}us  "
           f"AM p50={q['miss_p50_us']:.1f}us  "
           f"({res.events} sim events, {time.time() - t0:.1f}s)")
+    slo = res.extra.get("slo")
+    if slo is not None:
+        from repro.obs.slo import render_slo
+        s = slo["summary"]
+        print(f"  SLO: burn rate {s['burn_rate']:.2f} over "
+              f"{s['windows']} window(s), "
+              f"{s['violations']} violation(s) "
+              f"({s['violation_frac']:.2%}), "
+              f"{len(slo['anomalies'])} anomaly flag(s)")
+        if args.trace_dir is None:
+            print(render_slo(slo["windows"], s, slo["anomalies"]))
+    if args.trace_dir is not None:
+        _write_kvtraffic_artifacts(args.trace_dir, res, slo)
     return 0
+
+
+def _write_kvtraffic_artifacts(out_dir, res, slo) -> None:
+    """Write the kvtraffic run directory ``python -m repro report``
+    consumes: merged events (jsonl + validated Chrome trace),
+    slo.json, shard_summary.json."""
+    import json
+    import os
+
+    from repro.obs.export import dump_jsonl, export_chrome_sharded
+    from repro.obs.shardlog import merge_shard_events
+    from repro.runtime.metrics import RuntimeMetrics
+
+    os.makedirs(out_dir, exist_ok=True)
+    run = res.extra["run"]
+    log = merge_shard_events(run.shard_events, run.trace_dropped)
+    path = os.path.join(out_dir, "kvtraffic.events.jsonl")
+    n = dump_jsonl(log, path)
+    print(f"  wrote {path} ({n} lines)")
+    path = os.path.join(out_dir, "kvtraffic.trace.json")
+    doc = export_chrome_sharded(log, path)
+    print(f"  wrote {path} ({len(doc['traceEvents'])} chrome events, "
+          "validated)")
+    if slo is not None:
+        path = os.path.join(out_dir, "slo.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(slo, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {path}")
+    metrics = RuntimeMetrics()
+    metrics.attach_shards(run.metrics)
+    path = os.path.join(out_dir, "shard_summary.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics.shard_summary(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {path}")
 
 
 def main(argv=None) -> int:
@@ -347,6 +417,9 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.obs.report import report_main
+        return report_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from 'Scalable RDMA performance "
@@ -354,11 +427,14 @@ def main(argv=None) -> int:
     ap.add_argument("figure",
                     choices=sorted(_runners(True)) + ["all", "fuzz",
                                                       "kvtraffic",
-                                                      "trace", "run"],
+                                                      "trace", "run",
+                                                      "report"],
                     help="which figure to regenerate ('fuzz' runs the "
                          "differential harness; 'kvtraffic' the KV "
                          "service traffic harness; 'trace' the flight "
-                         "recorder; 'run' one stressmark)")
+                         "recorder; 'run' one stressmark; 'report' "
+                         "renders a unified report from a traced run "
+                         "directory)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")
     args = ap.parse_args(argv)

@@ -104,6 +104,18 @@ def _scan_get(cells: np.ndarray, key: int) -> int:
     return KV_MISSING
 
 
+def _scan_depth(cells: np.ndarray, key: int) -> int:
+    """Slots a GET scan touches before resolving ``key`` (full bucket
+    on a miss).  Observability-only: callers invoke it solely under an
+    ``op_id >= 0`` guard, so disabled runs never pay the extra scan."""
+    enc = key + 1
+    nslots = len(cells) // 2
+    for slot in range(nslots):
+        if int(cells[2 * slot]) == enc:
+            return slot + 1
+    return nslots
+
+
 def _scan_slot(cells: np.ndarray, key: int) -> int:
     """Slot index a PUT of ``key`` must write: the slot already
     holding ``key`` if any, else the first empty slot, else ``-1``."""
@@ -184,14 +196,23 @@ class KVStore:
         op_id = th._span_begin(KV_GET)
         self.runtime.metrics.kv_gets += 1
         if self.access == "rpc":
+            t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             value = yield from self._rpc(th, "get", (key,))
+            if op_id >= 0:
+                th._span_end(op_id, key=key, hit=value != KV_MISSING,
+                             path="rpc",
+                             home=self.home_node(self.bucket_of(key)),
+                             am_rtt_us=self.runtime.sim.now - t0)
         else:
             self.runtime.metrics.kv_onesided_ops += 1
             cells = yield from th.memget(self.array,
                                          self._base(self.bucket_of(key)),
                                          self.span)
             value = _scan_get(cells, key)
-        th._span_end(op_id, key=key, hit=value != KV_MISSING)
+            if op_id >= 0:
+                th._span_end(op_id, key=key, hit=value != KV_MISSING,
+                             path="onesided",
+                             scan_depth=_scan_depth(cells, key))
         return value
 
     def put(self, th: "UPCThread", key, value):
@@ -208,7 +229,12 @@ class KVStore:
         op_id = th._span_begin(KV_PUT)
         self.runtime.metrics.kv_puts += 1
         if self.access == "rpc":
+            t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             yield from self._rpc(th, "put", (key, value))
+            if op_id >= 0:
+                th._span_end(op_id, key=key, path="rpc",
+                             home=self.home_node(self.bucket_of(key)),
+                             am_rtt_us=self.runtime.sim.now - t0)
         else:
             self.runtime.metrics.kv_onesided_ops += 1
             bucket = self.bucket_of(key)
@@ -216,6 +242,7 @@ class KVStore:
             lck = self._lock_for(bucket)
             if lck is not None:
                 yield from th.lock(lck)
+            t_lock = self.runtime.sim.now if op_id >= 0 else 0.0
             try:
                 cells = yield from th.memget(self.array, base, self.span)
                 slot = _scan_slot(cells, key)
@@ -230,7 +257,10 @@ class KVStore:
             finally:
                 if lck is not None:
                     yield from th.unlock(lck)
-        th._span_end(op_id, key=key)
+            if op_id >= 0:
+                th._span_end(op_id, key=key, path="onesided",
+                             lock_hold_us=(self.runtime.sim.now - t_lock
+                                           if lck is not None else 0.0))
 
     def delete(self, th: "UPCThread", key):
         """Remove ``key``; returns whether it was present."""
@@ -238,7 +268,12 @@ class KVStore:
         op_id = th._span_begin(KV_DEL)
         self.runtime.metrics.kv_dels += 1
         if self.access == "rpc":
+            t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             found = yield from self._rpc(th, "del", (key,))
+            if op_id >= 0:
+                th._span_end(op_id, key=key, hit=found, path="rpc",
+                             home=self.home_node(self.bucket_of(key)),
+                             am_rtt_us=self.runtime.sim.now - t0)
         else:
             self.runtime.metrics.kv_onesided_ops += 1
             bucket = self.bucket_of(key)
@@ -246,6 +281,7 @@ class KVStore:
             lck = self._lock_for(bucket)
             if lck is not None:
                 yield from th.lock(lck)
+            t_lock = self.runtime.sim.now if op_id >= 0 else 0.0
             try:
                 cells = yield from th.memget(self.array, base, self.span)
                 enc = key + 1
@@ -261,7 +297,10 @@ class KVStore:
             finally:
                 if lck is not None:
                     yield from th.unlock(lck)
-        th._span_end(op_id, key=key, hit=found)
+            if op_id >= 0:
+                th._span_end(op_id, key=key, hit=found, path="onesided",
+                             lock_hold_us=(self.runtime.sim.now - t_lock
+                                           if lck is not None else 0.0))
         return bool(found)
 
     def multi_get(self, th: "UPCThread", keys):
@@ -279,7 +318,14 @@ class KVStore:
             th._span_end(op_id, nkeys=0)
             return []
         if self.access == "rpc":
+            t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             values = yield from self._rpc_mget(th, keys)
+            if op_id >= 0:
+                homes = sorted({self.home_node(self.bucket_of(k))
+                                for k in keys})
+                th._span_end(op_id, nkeys=len(keys), path="rpc",
+                             nhomes=len(homes),
+                             am_rtt_us=self.runtime.sim.now - t0)
         else:
             self.runtime.metrics.kv_onesided_ops += 1
             buckets = sorted({self.bucket_of(k) for k in keys})
@@ -288,7 +334,9 @@ class KVStore:
             table = dict(zip(buckets, images))
             values = [_scan_get(table[self.bucket_of(k)], k)
                       for k in keys]
-        th._span_end(op_id, nkeys=len(keys))
+            if op_id >= 0:
+                th._span_end(op_id, nkeys=len(keys), path="onesided",
+                             nbuckets=len(buckets))
         return values
 
     # -- the AM/RPC path ----------------------------------------------

@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.network.shard_channel import ChannelClosed, PipeChannel
+from repro.obs.events import (BARRIER_ARRIVE, BARRIER_RELEASE, EventLog,
+                              SYNC_ROUND, XSHARD_RECV, XSHARD_SEND)
 from repro.sim.errors import SimulationError
 from repro.sim.event import Event
 from repro.sim.process import Process
@@ -67,6 +69,12 @@ class ShardSpec:
     shard_id: int
     nshards: int
     lookahead: Tuple[Tuple[float, ...], ...]
+    #: Flight recorder on/off for this shard's worker.  Off (the
+    #: default) costs one branch per instrumentation site and keeps the
+    #: run bit-identical to a build without the recorder.
+    trace: bool = False
+    #: Memory bound for the per-shard log (drop-newest).
+    trace_max_events: Optional[int] = None
 
 
 @dataclass
@@ -78,6 +86,10 @@ class ShardOutput:
     metrics: ShardMetrics
     events: int
     now: float
+    #: Packed flight-recorder events (plain tuples; empty when tracing
+    #: is off) — merged by :mod:`repro.obs.shardlog`.
+    trace: List[tuple] = field(default_factory=list)
+    trace_dropped: int = 0
 
 
 @dataclass
@@ -96,6 +108,11 @@ class ShardedRun:
     rounds: int
     msgs_routed: int
     wall_s: float
+    #: Per-shard packed flight-recorder batches (``trace=True`` runs
+    #: only; empty lists otherwise).  Merge with
+    #: :func:`repro.obs.shardlog.merge_shard_events`.
+    shard_events: List[List[tuple]] = field(default_factory=list)
+    trace_dropped: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -110,6 +127,11 @@ class ShardContext:
         self.nshards = spec.nshards
         self.sim = Simulator(pooled=True)
         self.metrics = ShardMetrics(shard=spec.shard_id)
+        #: Per-shard flight recorder.  Disabled unless the spec asked
+        #: for tracing; emits are pure list appends (never simulator
+        #: events), so tracing leaves virtual time bit-identical.
+        self.log = EventLog(enabled=spec.trace,
+                            max_events=spec.trace_max_events)
         self.outputs: Dict[str, Any] = {}
         self._lookahead_row = spec.lookahead[spec.shard_id]
         self._outbox: List[ShardMessage] = []
@@ -183,6 +205,10 @@ class ShardContext:
             arrival=arrival, dst=dst, kind=kind, src=self.shard,
             seq=self._seq, nbytes=nbytes, payload=payload))
         self.metrics.msgs_sent += 1
+        if self.log.enabled:
+            self.log.emit(self.sim.now, XSHARD_SEND, src=self.shard,
+                          seq=self._seq, dst=dst, msg=kind,
+                          arrival=arrival, nbytes=nbytes)
 
     def _schedule_delivery(self, kind: str, payload: Any,
                            arrival: float) -> None:
@@ -216,6 +242,9 @@ class ShardContext:
         self._posts.append(BarrierPost(
             name=name, count=count, t_last=self.sim.now,
             expected=expected, cost=cost))
+        if self.log.enabled:
+            self.log.emit(self.sim.now, BARRIER_ARRIVE, name=name,
+                          expected=expected, count=count)
         return gate
 
     def _apply_release(self, name: str, t_rel: float) -> None:
@@ -229,6 +258,8 @@ class ShardContext:
                 f"shard {self.shard}: release of {name!r} at "
                 f"{t_rel:.6f} is in the past (now={self.sim.now:.6f})")
         gate.succeed(value=t_rel, delay=delay)
+        if self.log.enabled:
+            self.log.emit(t_rel, BARRIER_RELEASE, name=name)
 
     # -- worker internals ---------------------------------------------
 
@@ -268,20 +299,35 @@ class ShardWorkerState:
         ctx = self.ctx
         sim = ctx.sim
         m = ctx.metrics
+        log = ctx.log
         t0 = time.perf_counter()
         for name, t_rel in plan.releases:
             ctx._apply_release(name, t_rel)
+        if log.enabled:
+            for msg in plan.deliver:
+                # The (src, seq) pair is the join key linking this
+                # half to the sender's xshard_send.
+                log.emit(msg.arrival, XSHARD_RECV, src=msg.src,
+                         seq=msg.seq, msg=msg.kind, nbytes=msg.nbytes)
         for msg in plan.deliver:
             m.msgs_recv += 1
             ctx._schedule_delivery(msg.kind, msg.payload, msg.arrival)
         backlog = sim.pending
         if backlog > m.max_backlog:
             m.max_backlog = backlog
+        t_clock = sim.now
         n = sim.run_before(plan.horizon)
         m.grains += 1
         m.events += n
         if n == 0:
             m.stall_grains += 1
+        if log.enabled:
+            attrs = {"round": plan.round, "events": n,
+                     "delivered": len(plan.deliver),
+                     "dur": sim.now - t_clock, "stall": n == 0}
+            if plan.horizon != INF:
+                attrs["horizon"] = plan.horizon
+            log.emit(t_clock, SYNC_ROUND, **attrs)
         m.busy_s += time.perf_counter() - t0
         return ShardReport(shard=ctx.shard, next_time=sim.peek(),
                            sent=ctx._take_outbox(),
@@ -291,10 +337,13 @@ class ShardWorkerState:
         ctx = self.ctx
         ctx._check_quiescent()
         ctx.metrics.final_clock_us = ctx.sim.now
+        trace = [(e.t, e.kind, e.op, e.thread, e.node, e.attrs)
+                 for e in ctx.log.events]
         return ShardOutput(shard=ctx.shard, outputs=ctx.outputs,
                            metrics=ctx.metrics,
                            events=ctx.sim.events_processed,
-                           now=ctx.sim.now)
+                           now=ctx.sim.now, trace=trace,
+                           trace_dropped=ctx.log.dropped_events)
 
 
 def _worker_main(conn, spec: ShardSpec, builder: Callable,
@@ -334,7 +383,8 @@ class ShardedSimulator:
     """
 
     def __init__(self, nshards: int, lookahead=None, mode: str = "mp",
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None, trace: bool = False,
+                 trace_max_events: Optional[int] = None) -> None:
         if nshards < 1:
             raise ValueError(f"nshards must be >= 1, got {nshards}")
         if mode not in ("mp", "inproc"):
@@ -342,6 +392,8 @@ class ShardedSimulator:
         self.nshards = nshards
         self.mode = mode
         self.lookahead = lookahead
+        self.trace = trace
+        self.trace_max_events = trace_max_events
         if mp_context is None:
             mp_context = ("fork" if "fork"
                           in multiprocessing.get_all_start_methods()
@@ -364,7 +416,8 @@ class ShardedSimulator:
         matrix = normalize_lookahead(la, self.nshards)
         frozen = tuple(tuple(row) for row in matrix)
         specs = [ShardSpec(shard_id=i, nshards=self.nshards,
-                           lookahead=frozen)
+                           lookahead=frozen, trace=self.trace,
+                           trace_max_events=self.trace_max_events)
                  for i in range(self.nshards)]
         coord = SyncCoordinator(matrix, self.nshards)
         t0 = time.perf_counter()
@@ -383,7 +436,9 @@ class ShardedSimulator:
             events=sum(o.events for o in outputs),
             now=max((o.now for o in outputs), default=0.0),
             rounds=coord.rounds, msgs_routed=coord.msgs_routed,
-            wall_s=wall)
+            wall_s=wall,
+            shard_events=[o.trace for o in outputs],
+            trace_dropped=sum(o.trace_dropped for o in outputs))
         self.last_run = run
         return run
 

@@ -132,6 +132,10 @@ class GrainPlan:
     #: ``(barrier name, absolute release time)`` pairs.
     releases: List[Tuple[str, float]] = field(default_factory=list)
     done: bool = False
+    #: Coordinator round number that produced this plan — the global
+    #: id the flight recorder's ``sync_round`` annotations carry, so
+    #: grains from different shards line up in the merged timeline.
+    round: int = 0
 
 
 @dataclass
@@ -340,7 +344,8 @@ class SyncCoordinator:
                         f"{n}: {self._barriers[n].arrived}/"
                         f"{self._barriers[n].expected} arrived"
                         for n in stuck))
-            return [GrainPlan(horizon=INF, done=True) for _ in range(S)]
+            return [GrainPlan(horizon=INF, done=True, round=self.rounds)
+                    for _ in range(S)]
 
         plans = []
         for i in range(S):
@@ -357,5 +362,6 @@ class SyncCoordinator:
                                         protocol=pickle.HIGHEST_PROTOCOL))
                 self.channel_bytes[i] += blob
             plans.append(GrainPlan(horizon=horizon, deliver=batch,
-                                   releases=list(releases)))
+                                   releases=list(releases),
+                                   round=self.rounds))
         return plans

@@ -40,6 +40,8 @@ import numpy as np
 from repro.network.params import MACHINES, MachineParams
 from repro.network.partition import lookahead_matrix, partition_nodes
 from repro.network.topology import make_topology
+from repro.obs.events import OP_BEGIN, OP_END
+from repro.obs.slo import SLOMonitor, detect_anomalies, slo_summary
 from repro.sim.shard import ShardContext, ShardedSimulator
 from repro.util.rng import StreamFamily
 from repro.workloads.sharded import _commute_hash, _tq
@@ -147,6 +149,10 @@ class TrafficParams:
     cache_capacity: int = 16         # per-client bucket-address LRU
     seed: int = 0
     machine: str = "gm"
+    #: SLO latency target in µs; 0 disables the streaming monitor.
+    slo_target_us: float = 0.0
+    #: SLO rolling-window width (µs of virtual time).
+    slo_window_us: float = 5000.0
 
     def per_client(self) -> int:
         return max(1, -(-self.requests // self.nclients))
@@ -229,6 +235,20 @@ class _TrafficCore:
         self.counts = {"requests": 0, "hits": 0, "misses": 0,
                        "conns": 0, "puts": 0, "gets": 0}
         self.digests = {}
+        #: Streaming SLO monitor (pure bookkeeping — never schedules
+        #: sim events, so enabling it leaves runs bit-identical).
+        self.slo = (SLOMonitor(p.slo_target_us, p.slo_window_us)
+                    if p.slo_target_us > 0 else None)
+        #: Outstanding requests per client node (gauge fed to the SLO
+        #: monitor; maintained only when it exists).  Keyed by *node*,
+        #: not shard: a node's clients and their replies always live on
+        #: one shard, so the gauge is layout-invariant.
+        self.inflight = {}
+        #: Flight recorder + pending (client, seq) -> op-id map for
+        #: request spans; populated only when recording is on, and
+        #: never rides in message payloads.
+        self.log = ctx.log
+        self._ops = {}
         self._am_extra = (self.t.dispatch_us + self.t.svd_lookup_us
                           + self.t.handler_cpu_us
                           + _KV_SCAN_US * p.slots_per_bucket)
@@ -278,6 +298,14 @@ class _TrafficCore:
                           + _CONN_SETUP_US)
             hit = cache.touch(bucket)
             req_bytes = _PUT_REQ_BYTES if is_put else _GET_REQ_BYTES
+            if self.slo is not None:
+                self.inflight[node] = self.inflight.get(node, 0) + 1
+            if self.log.enabled:
+                op = self.log.next_op_id()
+                self.log.emit(sim.now, OP_BEGIN, op=op, thread=client,
+                              node=node, name="kv_req", key=key,
+                              hit=hit, put=is_put, nbytes=req_bytes)
+                self._ops[(client, seq)] = op
             self.ctx.send(
                 self.part.shard_of(server), "kv_req",
                 (server, node, client, seq, hit, is_put, _tq(sim.now)),
@@ -312,6 +340,17 @@ class _TrafficCore:
             self.digests.get(client, 0)
             + _commute_hash(seq, int(hit), int(is_put), _tq(fct))
         ) & _MASK64
+        if self.slo is not None:
+            node = client % self.p.nnodes
+            infl = self.inflight.get(node, 0)
+            self.inflight[node] = infl - 1
+            self.slo.observe(self.sim.now, fct, hit=hit, inflight=infl)
+        if self.log.enabled:
+            op = self._ops.pop((client, seq), -1)
+            if op >= 0:
+                self.log.emit(self.sim.now, OP_END, op=op,
+                              thread=client, node=client % self.p.nnodes,
+                              fct_us=fct, hit=hit, put=is_put)
 
 
 def build_traffic_shard(ctx: ShardContext, params: dict) -> None:
@@ -328,13 +367,23 @@ def build_traffic_shard(ctx: ShardContext, params: dict) -> None:
     ctx.publish("hist_miss", core.hist_miss)
     ctx.publish("counts", core.counts)
     ctx.publish("digests", core.digests)
+    # The monitor object itself rides back (its final window state is
+    # what matters; it is plain picklable Python).
+    ctx.publish("slo", core.slo)
 
 
 def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
-                   mode: str = "inproc",
-                   mp_context=None) -> TrafficResult:
+                   mode: str = "inproc", mp_context=None,
+                   trace: bool = False,
+                   trace_max_events=None) -> TrafficResult:
     """Run one traffic experiment under ``nshards`` shards and merge
-    the per-shard outputs into a layout-invariant result."""
+    the per-shard outputs into a layout-invariant result.
+
+    With ``params.slo_target_us > 0`` the result's ``extra["slo"]``
+    carries merged SLO windows, the run summary and anomaly flags;
+    ``trace=True`` arms the per-shard flight recorders (packed events
+    land on ``extra["run"].shard_events``).  Both are layout-invariant
+    and leave the simulation bit-identical."""
     if nshards > params.nnodes:
         raise ValueError(
             f"nshards={nshards} exceeds {params.nnodes} nodes")
@@ -342,7 +391,8 @@ def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
     part = partition_nodes(params.nnodes, nshards)
     la = lookahead_matrix(m, params.nnodes, part)
     sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
-                               mp_context=mp_context)
+                               mp_context=mp_context, trace=trace,
+                               trace_max_events=trace_max_events)
     run = sharded.run(build_traffic_shard,
                       dict(params=params.__dict__.copy()))
     hist = np.zeros(HIST_BINS, dtype=np.int64)
@@ -351,6 +401,7 @@ def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
     counts = {"requests": 0, "hits": 0, "misses": 0, "conns": 0,
               "puts": 0, "gets": 0}
     digests = {}
+    monitors = []
     for out in run.outputs:
         hist += np.asarray(out["hist"])
         hist_hit += np.asarray(out["hist_hit"])
@@ -358,9 +409,26 @@ def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
         for k in counts:
             counts[k] += out["counts"][k]
         digests.update(out["digests"])
+        if out.get("slo") is not None:
+            monitors.append(out["slo"])
+    extra = {"run": run}
+    if monitors:
+        windows = SLOMonitor.merge_window_dicts(
+            [mon.export() for mon in monitors])
+        extra["slo"] = {
+            "target_us": params.slo_target_us,
+            "window_us": params.slo_window_us,
+            "windows": windows,
+            "summary": slo_summary(windows,
+                                   target_us=params.slo_target_us,
+                                   window_us=params.slo_window_us),
+            "anomalies": detect_anomalies(
+                windows, target_us=params.slo_target_us,
+                window_us=params.slo_window_us),
+        }
     return TrafficResult(
         requests=counts["requests"], hits=counts["hits"],
         misses=counts["misses"], conns=counts["conns"],
         puts=counts["puts"], gets=counts["gets"], hist=hist,
         hist_hit=hist_hit, hist_miss=hist_miss, digests=digests,
-        now=run.now, events=run.events)
+        now=run.now, events=run.events, extra=extra)

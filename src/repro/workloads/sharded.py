@@ -43,6 +43,7 @@ import numpy as np
 from repro.network.params import MACHINES, MachineParams
 from repro.network.partition import lookahead_matrix, partition_nodes
 from repro.network.topology import make_topology
+from repro.obs.events import EventLog, OP_BEGIN, OP_END
 from repro.runtime.collectives import (ShardBarrier, ShardFence,
                                        dissemination_cost_us)
 from repro.sim.errors import SimulationError
@@ -116,7 +117,8 @@ class _FieldMix:
     is byte-for-byte the same code in both."""
 
     def __init__(self, sim, machine: MachineParams, nnodes: int,
-                 local_nodes, transmit) -> None:
+                 local_nodes, transmit,
+                 log: "EventLog" = None) -> None:
         self.sim = sim
         self.machine = machine
         self.t = machine.transport
@@ -127,6 +129,10 @@ class _FieldMix:
         self.node_digest = {node: 0 for node in local_nodes}
         self.trace = []
         self._pending = {}
+        #: Flight recorder for op spans (``fput``/``probe``); defaults
+        #: to a disabled log so the reference path and untraced runs
+        #: pay nothing but the ``log.enabled`` check.
+        self.log = log if log is not None else EventLog(enabled=False)
 
     def latency(self, src: int, dst: int, nbytes: int,
                 extra: float = 0.0) -> float:
@@ -158,26 +164,48 @@ class _FieldMix:
     # -- the thread body ----------------------------------------------
 
     def thread(self, node: int, tid: int, ntokens: int, probes: int):
-        sim, t = self.sim, self.t
+        sim, t, log = self.sim, self.t, self.log
         for tok in range(ntokens):
             yield sim.sleep(2.0 + 3.0 * _jitter(tid, tok))
             # Relaxed PUT of the field element to the right neighbour.
             yield sim.sleep(t.o_sw_us + t.o_send_us + t.nic_gap_us)
             dst = (node + 1) % self.nnodes
+            if log.enabled:
+                # Fire-and-forget: zero-duration span at injection.
+                op = log.next_op_id()
+                log.emit(sim.now, OP_BEGIN, op=op, thread=tid,
+                         node=node, name="fput", nbytes=64)
+                log.emit(sim.now, OP_END, op=op, thread=tid,
+                         node=node, dst=dst, tok=tok)
             self.transmit(node, dst, "fput", (dst, tid, tok), nbytes=64)
             for p in range(probes):
                 other = ((node + 1) % self.nnodes if (tok + p) % 2 == 0
                          else (node - 1) % self.nnodes)
                 yield sim.sleep(t.o_sw_us + t.o_send_us + t.nic_gap_us)
                 req = (tid, tok, p)
+                op = -1
+                if log.enabled:
+                    op = log.next_op_id()
+                    log.emit(sim.now, OP_BEGIN, op=op, thread=tid,
+                             node=node, name="probe", nbytes=64)
                 gate = sim.event(name=f"probe{req}")
                 self._pending[req] = gate
                 self.transmit(node, other, "probe",
                               (other, node, req), nbytes=64)
                 served = yield gate
                 yield sim.sleep(t.o_recv_us)
+                if op >= 0:
+                    log.emit(sim.now, OP_END, op=op, thread=tid,
+                             node=node, dst=other, tok=tok, served=served)
                 self.trace.append((_tq(sim.now), tid, tok, p, served))
+        op = -1
+        if log.enabled:
+            op = log.next_op_id()
+            log.emit(sim.now, OP_BEGIN, op=op, thread=tid, node=node,
+                     name="field_barrier")
         yield from self.barrier_wait()
+        if op >= 0:
+            log.emit(sim.now, OP_END, op=op, thread=tid, node=node)
         self.trace.append((_tq(sim.now), tid, -1, -1, 0))
 
     def barrier_wait(self):  # pragma: no cover - replaced per backend
@@ -208,7 +236,8 @@ def build_field_shard(ctx: ShardContext, nthreads: int = 32,
                  latency=core.latency(src, dst, nbytes, extra),
                  nbytes=nbytes)
 
-    core = _FieldMix(ctx.sim, m, nnodes, range(lo, hi), transmit)
+    core = _FieldMix(ctx.sim, m, nnodes, range(lo, hi), transmit,
+                     log=ctx.log)
     ctx.on_message("fput", core.handle_fput)
     ctx.on_message("probe", core.handle_probe)
     ctx.on_message("preply", core.handle_preply)
@@ -229,9 +258,15 @@ def build_field_shard(ctx: ShardContext, nthreads: int = 32,
 
 def run_field_sharded(nthreads: int, nshards: int, *, ntokens: int = 4,
                       probes: int = 2, machine: str = "gm",
-                      mode: str = "inproc",
-                      mp_context=None) -> dict:
-    """Run the Field mix under ``nshards`` shards and merge outputs."""
+                      mode: str = "inproc", mp_context=None,
+                      trace: bool = False,
+                      trace_max_events=None) -> dict:
+    """Run the Field mix under ``nshards`` shards and merge outputs.
+
+    ``trace=True`` arms every shard's flight recorder; the merged
+    result's ``run.shard_events`` then carries the per-shard packed
+    event batches (see :mod:`repro.obs.shardlog`).  Recording never
+    touches the simulation — traced runs stay bit-identical."""
     m = MACHINES[machine]
     nnodes = field_nnodes(nthreads)
     if nshards > nnodes:
@@ -240,7 +275,8 @@ def run_field_sharded(nthreads: int, nshards: int, *, ntokens: int = 4,
     part = partition_nodes(nnodes, nshards)
     la = lookahead_matrix(m, nnodes, part)
     sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
-                               mp_context=mp_context)
+                               mp_context=mp_context, trace=trace,
+                               trace_max_events=trace_max_events)
     run = sharded.run(build_field_shard,
                       dict(nthreads=nthreads, ntokens=ntokens,
                            probes=probes, machine=machine))
@@ -786,7 +822,8 @@ def build_corpus_shard(ctx: ShardContext, program_json: str,
 
 def run_corpus_sharded(program: Program, nshards: int, *,
                        machine: str = "gm", mode: str = "inproc",
-                       mp_context=None) -> dict:
+                       mp_context=None, trace: bool = False,
+                       trace_max_events=None) -> dict:
     """Replay ``program`` under ``nshards`` shards; merged result is
     layout-invariant (``nshards=1`` is the pooled referee — the whole
     run lives on one pooled :class:`Simulator`)."""
@@ -798,7 +835,8 @@ def run_corpus_sharded(program: Program, nshards: int, *,
     part = partition_nodes(nnodes, nshards)
     la = lookahead_matrix(m, nnodes, part)
     sharded = ShardedSimulator(nshards, lookahead=la, mode=mode,
-                               mp_context=mp_context)
+                               mp_context=mp_context, trace=trace,
+                               trace_max_events=trace_max_events)
     run = sharded.run(build_corpus_shard,
                       dict(program_json=program.dumps(),
                            machine=machine))

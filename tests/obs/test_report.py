@@ -1,0 +1,111 @@
+"""The unified run report: CLI round trips through real run
+directories produced by ``trace --shards`` and ``kvtraffic
+--trace-dir``, plus unit coverage of the analyzers."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.events import EventLog, OP_BEGIN, OP_END
+from repro.obs.report import (
+    build_report,
+    op_latency_table,
+    render_report,
+    shard_rollups,
+)
+
+
+def test_op_latency_table_pairs_spans():
+    log = EventLog(enabled=True)
+    for i, dur in enumerate((2.0, 4.0)):
+        op = log.next_op_id()
+        log.emit(10.0 * i, OP_BEGIN, op=op, thread=0, node=0, name="get")
+        log.emit(10.0 * i + dur, OP_END, op=op, thread=0, node=0)
+    dangling = log.next_op_id()
+    log.emit(50.0, OP_BEGIN, op=dangling, thread=0, node=0, name="get")
+    (row,) = op_latency_table(log)
+    assert row["name"] == "get"
+    assert row["count"] == 2          # the dangling begin is ignored
+    assert row["mean_us"] == pytest.approx(3.0)
+    assert row["max_us"] == pytest.approx(4.0)
+
+
+def test_shard_rollups_group_by_shard_attr():
+    log = EventLog(enabled=True)
+    log.emit(1.0, OP_END, op=1, shard=0)
+    log.emit(2.0, OP_END, op=2, shard=1)
+    log.emit(3.0, "other", shard=1)
+    rows = shard_rollups(log)
+    assert [r["shard"] for r in rows] == [0, 1]
+    assert rows[1]["events"] == 2 and rows[1]["ops"] == 1
+    assert rows[1]["t_last_us"] == 3.0
+
+
+def test_report_on_empty_dir(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "no recognized artifacts" in out
+    assert (tmp_path / "report.txt").exists()
+    assert (tmp_path / "report.json").exists()
+
+
+def test_report_rejects_missing_dir(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", str(tmp_path / "nope")])
+
+
+@pytest.mark.shard
+def test_trace_shards_then_report_round_trip(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    assert main(["trace", "field", "--shards", "2", "--nthreads", "16",
+                 "--out", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "linked" in out
+    assert (run_dir / "field.trace.json").exists()
+
+    assert main(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "cross-shard:" in out
+    assert "0 unpaired" in out
+    report = json.loads((run_dir / "report.json").read_text())
+    (ev,) = report["events"]
+    assert {r["shard"] for r in ev["shards"]} == {0, 1}
+    assert ev["xshard"]["linked"] == ev["xshard"]["msgs"] > 0
+    names = {r["name"] for r in ev["ops"]}
+    assert {"fput", "probe", "field_barrier"} <= names
+
+
+@pytest.mark.shard
+def test_kvtraffic_slo_trace_then_report_round_trip(tmp_path, capsys):
+    run_dir = tmp_path / "kvrun"
+    assert main(["kvtraffic", "--requests", "3000", "--shards", "2",
+                 "--slo-target-us", "30", "--slo-window-us", "200",
+                 "--trace-dir", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "SLO: burn rate" in out
+    for name in ("kvtraffic.events.jsonl", "kvtraffic.trace.json",
+                 "slo.json", "shard_summary.json"):
+        assert (run_dir / name).exists(), name
+
+    assert main(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "SLO: target 30.0us" in out
+    assert "burn rate" in out
+    assert "kv_req" in out
+    report = json.loads((run_dir / "report.json").read_text())
+    assert report["slo"]["summary"]["count"] > 0
+    assert report["shard_summary"]["shards"] == 2
+    assert isinstance(report["slo"]["anomalies"], list)
+
+
+def test_trace_shards_rejects_incompatible_flags():
+    with pytest.raises(SystemExit):
+        main(["trace", "pointer", "--shards", "2"])
+    with pytest.raises(SystemExit):
+        main(["trace", "field", "--shards", "2", "--breakdown"])
+    with pytest.raises(SystemExit):
+        main(["trace", "field", "--shards", "2", "--format", "csv"])
+    with pytest.raises(SystemExit):
+        main(["trace", "field", "--shards", "2",
+              "--fault-profile", "drop"])

@@ -190,3 +190,61 @@ def test_metrics_counters():
     assert m.kv_puts == 1 and m.kv_gets == 1
     assert m.kv_mgets == 1 and m.kv_dels == 1
     assert m.kv_rpc_ops > 0 and m.kv_onesided_ops == 0
+
+
+def _kv_spans(access):
+    """Run one op of each kind with the flight recorder on and return
+    OP_END attrs grouped by span name."""
+    from repro.obs.events import EventLog, OP_BEGIN, OP_END
+
+    log = EventLog(enabled=True)
+    cfg = RuntimeConfig(machine=GM_MARENOSTRUM, nthreads=8,
+                        threads_per_node=2, events=log)
+    rt = Runtime(cfg)
+    locks = [rt.alloc_lock()] if access == "onesided" else None
+
+    def kernel(th):
+        store = yield from kv_create(th, nbuckets=8, access=access,
+                                     blocksize=8, locks=locks)
+        if th.id == 0:
+            yield from store.put(th, 3, 30)
+            yield from store.put(th, 11, 110)   # collides with 3
+            yield from store.get(th, 11)
+            yield from store.get(th, 999)       # miss
+            yield from store.multi_get(th, [3, 11])
+            yield from store.delete(th, 3)
+        yield from th.barrier()
+
+    rt.spawn(kernel)
+    rt.run()
+    begins = {e.op: e.attrs["name"] for e in log if e.kind == OP_BEGIN}
+    spans = {}
+    for e in log:
+        if e.kind == OP_END and e.op in begins:
+            spans.setdefault(begins[e.op], []).append(e.attrs)
+    return spans
+
+
+def test_rpc_spans_carry_rtt_and_home():
+    spans = _kv_spans("rpc")
+    for name in ("kv_put", "kv_get", "kv_mget", "kv_del"):
+        for at in spans[name]:
+            assert at["path"] == "rpc"
+            assert at["am_rtt_us"] > 0
+    hit, miss = spans["kv_get"]
+    assert hit["hit"] is True and miss["hit"] is False
+    assert all("home" in at for at in spans["kv_put"])
+    assert spans["kv_mget"][0]["nhomes"] >= 1
+
+
+def test_onesided_spans_carry_scan_depth_and_lock_hold():
+    spans = _kv_spans("onesided")
+    hit, miss = spans["kv_get"]
+    assert hit["path"] == "onesided"
+    # key 11 shares a bucket with key 3 and was inserted second
+    assert hit["scan_depth"] == 2
+    assert miss["scan_depth"] >= hit["scan_depth"]
+    for at in spans["kv_put"] + spans["kv_del"]:
+        assert at["lock_hold_us"] > 0
+    # both keys share one bucket, so the vectored fetch touches one span
+    assert spans["kv_mget"][0]["nbuckets"] == 1
