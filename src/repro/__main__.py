@@ -129,6 +129,17 @@ def run_main(argv) -> int:
                          "file path")
     ap.add_argument("--fault-seed", type=int, default=None,
                     help="override the fault plan's RNG seed")
+    ap.add_argument("--link-trace", default=None, metavar="SPEC",
+                    help="time-evolving link degradation: a shape name "
+                         "(flap, burst, degrade, gray), inline JSON, "
+                         "or a JSON file path (see docs/FAULTS.md)")
+    ap.add_argument("--trace-seed", type=int, default=None,
+                    help="override the link trace's seed")
+    ap.add_argument("--repair-policy", default=None,
+                    choices=("do_nothing", "retransmit_tuning",
+                             "disable_and_repair", "path_failover"),
+                    help="repair policy acting on per-link health "
+                         "(needs --link-trace or --fault-profile)")
     ap.add_argument("--shards", type=int, default=None, metavar="N",
                     help="run on the sharded PDES core with N shards "
                          "(field only; one worker process per shard, "
@@ -144,10 +155,11 @@ def run_main(argv) -> int:
                      "stressmark only (the other stressmarks exercise "
                      "full-runtime protocol paths that span shard "
                      "boundaries; they run on the pooled core)")
-        if args.fault_profile is not None:
-            ap.error("--shards and --fault-profile are mutually "
-                     "exclusive (the fault plane lives in the pooled "
-                     "runtime's transport)")
+        if args.fault_profile is not None or args.link_trace is not None:
+            ap.error("--shards excludes --fault-profile/--link-trace "
+                     "(the fault plane lives in the pooled runtime's "
+                     "transport; use 'python -m repro kvtraffic "
+                     "--link-trace' for the sharded core)")
         return _run_sharded_field(args)
 
     fault_plan = None
@@ -158,11 +170,26 @@ def run_main(argv) -> int:
                                          fault_seed=args.fault_seed)
         except ValueError as exc:
             ap.error(str(exc))
+    link_trace = None
+    if args.link_trace is not None:
+        from repro.faults import resolve_trace
+        from repro.obs.cli import _cli_nnodes
+        try:
+            link_trace = resolve_trace(
+                args.link_trace,
+                _cli_nnodes(args.machine, args.nthreads),
+                trace_seed=args.trace_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
+    if args.repair_policy and fault_plan is None and link_trace is None:
+        ap.error("--repair-policy needs --link-trace or "
+                 "--fault-profile to observe")
 
     runner = _workload(args.workload, args.quick, args.machine,
                        args.nthreads, args.seed,
                        EventLog(enabled=False), None,
-                       fault_plan=fault_plan)
+                       fault_plan=fault_plan, link_trace=link_trace,
+                       repair_policy=args.repair_policy)
     t0 = time.time()
     result = runner()
     run = result.run
@@ -172,11 +199,20 @@ def run_main(argv) -> int:
           f"{m.remote_ops} (rdma share {m.rdma_fraction:.0%}), "
           f"cache hit rate {run.cache_stats.hit_rate:.3f} "
           f"({time.time() - t0:.1f}s)")
-    if fault_plan is not None:
+    if fault_plan is not None or link_trace is not None:
         print(f"  faults: {m.faults_injected} injected, "
               f"{m.timeouts} timeouts, {m.retries} retries, "
               f"{m.rdma_timeouts} rdma->am fallbacks, "
               f"{m.pin_degrades} degraded handles")
+        noisy = m.noisy_links(3)
+        if noisy:
+            links = ", ".join(
+                f"{r['src']}->{r['dst']} ({r['timeouts']}t/"
+                f"{r['retries']}r)" for r in noisy)
+            print(f"  noisy links: {links}")
+    if args.repair_policy:
+        print(f"  policy {args.repair_policy}: {m.policy_actions} "
+              f"action(s), {m.kv_failover_ops} kv failover op(s)")
     return 0
 
 
@@ -329,6 +365,17 @@ def kvtraffic_main(argv) -> int:
                     metavar="US",
                     help="SLO rolling-window width in virtual µs "
                          "(default 5000)")
+    ap.add_argument("--link-trace", default=None, metavar="SPEC",
+                    help="time-evolving link degradation: a shape name "
+                         "(flap, burst, degrade, gray), inline JSON, "
+                         "or a JSON file path (see docs/FAULTS.md)")
+    ap.add_argument("--trace-seed", type=int, default=None,
+                    help="override the link trace's seed")
+    ap.add_argument("--repair-policy", default=None,
+                    choices=("do_nothing", "retransmit_tuning",
+                             "disable_and_repair", "path_failover"),
+                    help="repair policy acting on per-link health "
+                         "(needs --link-trace)")
     ap.add_argument("--trace-dir", default=None, metavar="DIR",
                     help="arm the flight recorder and write run "
                          "artifacts (events.jsonl, trace.json, "
@@ -337,11 +384,25 @@ def kvtraffic_main(argv) -> int:
                          "report'")
     args = ap.parse_args(argv)
 
+    link_trace = None
+    if args.link_trace is not None:
+        from repro.faults import resolve_trace
+        try:
+            link_trace = resolve_trace(args.link_trace, args.nnodes,
+                                       trace_seed=args.trace_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
+    if args.repair_policy and link_trace is None:
+        ap.error("--repair-policy needs --link-trace to observe")
+
     p = TrafficParams(nnodes=args.nnodes, nclients=args.nclients,
                       requests=args.requests, zipf_s=args.skew,
                       seed=args.seed, machine=args.machine,
                       slo_target_us=args.slo_target_us,
-                      slo_window_us=args.slo_window_us)
+                      slo_window_us=args.slo_window_us,
+                      link_trace=(link_trace.to_json()
+                                  if link_trace is not None else ""),
+                      repair_policy=args.repair_policy or "")
     t0 = time.time()
     res = run_kv_traffic(p, args.shards, mode=args.shard_backend,
                          trace=args.trace_dir is not None)
@@ -364,6 +425,23 @@ def kvtraffic_main(argv) -> int:
               f"{len(slo['anomalies'])} anomaly flag(s)")
         if args.trace_dir is None:
             print(render_slo(slo["windows"], s, slo["anomalies"]))
+    links = res.extra.get("links")
+    if links:
+        noisy = sorted(links.items(),
+                       key=lambda kv: (-kv[1]["timeouts"],
+                                       -kv[1]["retries"], kv[0]))[:3]
+        row = ", ".join(f"{src}->{dst} ({tot['timeouts']}t/"
+                        f"{tot['retries']}r)"
+                        for (src, dst), tot in noisy)
+        failures = sum(o["counts"]["failures"]
+                       for o in res.extra["run"].outputs)
+        print(f"  lossy fabric: {failures} exhausted request(s); "
+              f"noisy links: {row}")
+    policy = res.extra.get("policy")
+    if policy is not None:
+        print(f"  policy {policy['name']}: "
+              f"{len(policy['decisions'])} decision(s), "
+              f"digest {policy['digest']:#018x}")
     if args.trace_dir is not None:
         _write_kvtraffic_artifacts(args.trace_dir, res, slo)
     return 0
@@ -403,6 +481,24 @@ def _write_kvtraffic_artifacts(out_dir, res, slo) -> None:
         json.dump(metrics.shard_summary(), fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"  wrote {path}")
+    links = res.extra.get("links")
+    if links:
+        doc = {
+            "links": {f"{src}->{dst}": tot
+                      for (src, dst), tot in sorted(links.items())},
+            "failures": sum(o["counts"]["failures"]
+                            for o in run.outputs),
+        }
+        policy = res.extra.get("policy")
+        if policy is not None:
+            doc["policy"] = {"name": policy["name"],
+                             "digest": policy["digest"],
+                             "decisions": policy["decisions"]}
+        path = os.path.join(out_dir, "links.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {path}")
 
 
 def main(argv=None) -> int:

@@ -26,6 +26,7 @@ pre-fault code paths: zero extra simulator events, bit-identical
 virtual time (``benchmarks/bench_fault_overhead.py`` holds the bar).
 """
 
+from repro.faults.health import HealthTracker, WindowStats, fold_ewma
 from repro.faults.injector import NO_FAULT, Fate, FaultInjector
 from repro.faults.plan import (
     ANY_NODE,
@@ -35,11 +36,28 @@ from repro.faults.plan import (
     NicStall,
     PinBudget,
 )
-from repro.faults.profiles import PROFILES, resolve_profile
+from repro.faults.policy import (
+    POLICIES,
+    LinkMode,
+    PolicyConfig,
+    PolicyEngine,
+    decisions_digest,
+)
+from repro.faults.profiles import PROFILES, resolve_profile, resolve_trace
 from repro.faults.reliability import (
     DedupLedger,
     ReliabilityConfig,
     ReliabilityError,
+)
+from repro.faults.trace import (
+    TRACE_SHAPES,
+    LinkRule,
+    LinkTrace,
+    TraceSegment,
+    fate_hash,
+    fate_u01,
+    make_trace,
+    sniff_trace_json,
 )
 
 __all__ = [
@@ -49,12 +67,29 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HandlerStall",
+    "HealthTracker",
     "LinkFault",
+    "LinkMode",
+    "LinkRule",
+    "LinkTrace",
     "NicStall",
     "NO_FAULT",
     "PinBudget",
+    "POLICIES",
+    "PolicyConfig",
+    "PolicyEngine",
     "PROFILES",
     "ReliabilityConfig",
     "ReliabilityError",
+    "TRACE_SHAPES",
+    "TraceSegment",
+    "WindowStats",
+    "decisions_digest",
+    "fate_hash",
+    "fate_u01",
+    "fold_ewma",
+    "make_trace",
     "resolve_profile",
+    "resolve_trace",
+    "sniff_trace_json",
 ]

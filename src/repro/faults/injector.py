@@ -27,6 +27,9 @@ from repro.util.rng import seeded_rng
 #: RNG stream salt for fault draws (distinct from cache/workload
 #: streams so adding faults never perturbs their sequences).
 _FAULT_STREAM = 0xFA17
+#: Separate salt for link-trace draws, so adding a trace to a plan
+#: never perturbs the plan's own fault sequence.
+_TRACE_STREAM = 0x7ACE
 
 
 class Fate:
@@ -74,10 +77,12 @@ class FaultInjector:
     """
 
     __slots__ = ("plan", "sim", "events", "metrics", "injected",
-                 "_rng", "_am_links", "_rdma_links", "_pin_granted")
+                 "_rng", "_am_links", "_rdma_links", "_pin_granted",
+                 "trace", "policy", "health", "_trace_rng")
 
     def __init__(self, plan: FaultPlan, sim, events=None,
-                 metrics=None) -> None:
+                 metrics=None, trace=None, policy=None,
+                 health=None) -> None:
         self.plan = plan
         self.sim = sim
         self.events = events
@@ -91,6 +96,19 @@ class FaultInjector:
                                  if l.scope in ("rdma", "both"))
         #: node id -> pin bytes already granted against the budget.
         self._pin_granted = {}
+        #: Optional time-evolving :class:`~repro.faults.trace.LinkTrace`
+        #: layered on top of the plan's static rules.
+        self.trace = trace if trace is not None and not trace.empty \
+            else None
+        #: Optional :class:`~repro.faults.policy.PolicyEngine` — when a
+        #: link is detoured by ``disable_and_repair`` its trace fates
+        #: stop applying (the traffic no longer crosses the sick link).
+        self.policy = policy
+        #: Optional :class:`~repro.faults.health.HealthTracker`; every
+        #: fate draw records one attempt against the link it rode.
+        self.health = health
+        self._trace_rng = (seeded_rng(self.trace.seed, _TRACE_STREAM)
+                           if self.trace is not None else None)
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -138,20 +156,79 @@ class FaultInjector:
                             delay_us=rule.delay_us)
         return fate
 
+    def _trace_fate(self, src: int, dst: int, op_id: int) -> Fate:
+        """Fate contribution of the link trace at the current instant.
+
+        A link detoured by ``disable_and_repair`` no longer crosses the
+        sick fabric segment, so its trace condition stops applying (the
+        wire layer charges the two-hop detour latency instead).
+        """
+        now = self.sim.now
+        if self.policy is not None:
+            mode = self.policy.mode_of(src, dst, now)
+            if mode.mode == "disabled" and mode.via is not None:
+                return NO_FAULT
+        loss, corrupt, delay = self.trace.at(src, dst, now)
+        if loss == 0.0 and corrupt == 0.0 and delay == 0.0:
+            return NO_FAULT
+        fate = Fate(delay_us=delay)
+        if loss and self._trace_rng.random() < loss:
+            if self._trace_rng.random() < 0.5:
+                fate.drop_request = True
+                self._fired("trace_drop_request", op_id, dst,
+                            src=src, dst=dst)
+            else:
+                fate.drop_reply = True
+                self._fired("trace_drop_reply", op_id, dst,
+                            src=src, dst=dst)
+        elif corrupt and self._trace_rng.random() < corrupt:
+            # A corrupt frame is detected and discarded by the
+            # receiver: it behaves like a lost request leg but is
+            # accounted separately.
+            fate.drop_request = True
+            self._fired("trace_corrupt", op_id, dst, src=src, dst=dst)
+        return fate
+
+    def _combine(self, a: Fate, b: Fate) -> Fate:
+        if a is NO_FAULT:
+            return b
+        if b is NO_FAULT:
+            return a
+        return Fate(drop_request=a.drop_request or b.drop_request,
+                    drop_reply=a.drop_reply or b.drop_reply,
+                    duplicate=a.duplicate or b.duplicate,
+                    delay_us=a.delay_us + b.delay_us)
+
+    def _observe(self, src: int, dst: int, fate: Fate) -> None:
+        """Record one attempt's health against the link it rode."""
+        dropped = fate.drop_request or fate.drop_reply
+        self.health.record(self.sim.now, src, dst, attempts=1,
+                           timeouts=1 if dropped else 0,
+                           deliveries=0 if dropped else 1)
+
     def am_fate(self, src: int, dst: int, op_id: int = -1) -> Fate:
         """Fate for one AM request/reply exchange attempt."""
-        if not self._am_links:
-            return NO_FAULT
-        return self._link_fate(self._am_links, src, dst, op_id)
+        fate = (self._link_fate(self._am_links, src, dst, op_id)
+                if self._am_links else NO_FAULT)
+        if self.trace is not None:
+            fate = self._combine(fate, self._trace_fate(src, dst, op_id))
+        if self.health is not None:
+            self._observe(src, dst, fate)
+        return fate
 
     def rdma_fate(self, src: int, dst: int, op_id: int = -1) -> Fate:
         """Fate for one one-sided RDMA operation.  A ``drop`` rule
         firing (either leg) means the completion is lost."""
-        if not self._rdma_links:
-            return NO_FAULT
-        fate = self._link_fate(self._rdma_links, src, dst, op_id)
+        fate = (self._link_fate(self._rdma_links, src, dst, op_id)
+                if self._rdma_links else NO_FAULT)
+        if self.trace is not None:
+            fate = self._combine(fate, self._trace_fate(src, dst, op_id))
         if fate.drop_reply:
+            if fate is NO_FAULT:  # pragma: no cover - defensive
+                fate = Fate()
             fate.drop_request = True
+        if self.health is not None:
+            self._observe(src, dst, fate)
         return fate
 
     # -- node-local stalls ---------------------------------------------

@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 from repro.faults.plan import FaultPlan, HandlerStall, LinkFault, \
     NicStall, PinBudget
+from repro.faults.trace import LinkTrace, TRACE_SHAPES, make_trace, \
+    sniff_trace_json
 
 #: Registry of canned plans (seed 0; override with ``--fault-seed``).
 PROFILES: Dict[str, FaultPlan] = {
@@ -67,10 +69,13 @@ def resolve_profile(spec: str,
     if spec in PROFILES:
         plan = PROFILES[spec]
     elif spec.lstrip().startswith("{"):
+        _reject_trace_spec(spec)
         plan = FaultPlan.from_json(spec)
     elif os.path.exists(spec):
         with open(spec, "r", encoding="utf-8") as fh:
-            plan = FaultPlan.from_json(fh.read())
+            text = fh.read()
+        _reject_trace_spec(text, origin=spec)
+        plan = FaultPlan.from_json(text)
     else:
         names = ", ".join(sorted(PROFILES))
         raise ValueError(f"unknown fault profile {spec!r} "
@@ -78,3 +83,49 @@ def resolve_profile(spec: str,
     if fault_seed is not None:
         plan = plan.with_seed(fault_seed)
     return plan
+
+
+def _reject_trace_spec(text: str, origin: str = "inline JSON") -> None:
+    if sniff_trace_json(text):
+        raise ValueError(
+            f"{origin} is a link trace (kind=link-trace), not a static "
+            f"fault plan — pass it via --link-trace, not --fault-profile")
+
+
+def resolve_trace(spec: str,
+                  nnodes: int,
+                  trace_seed: Optional[int] = None) -> LinkTrace:
+    """Turn a ``--link-trace`` argument into a :class:`LinkTrace`.
+
+    ``spec`` may be a generator shape name (``flap``, ``burst``,
+    ``degrade``, ``gray``), inline trace JSON (``{"kind":
+    "link-trace", ...}``), or a path to a trace file.  ``trace_seed``
+    overrides the trace's seed when given (and seeds the generators).
+    """
+    if spec in TRACE_SHAPES:
+        trace = make_trace(spec, nnodes, trace_seed or 0)
+        return trace
+    if spec.lstrip().startswith("{"):
+        if not sniff_trace_json(spec):
+            raise ValueError(
+                "inline JSON is not a link trace (no \"kind\": "
+                "\"link-trace\" marker) — static fault plans go "
+                "through --fault-profile, not --link-trace")
+        trace = LinkTrace.from_json(spec)
+    elif os.path.exists(spec):
+        with open(spec, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if not sniff_trace_json(text):
+            raise ValueError(
+                f"{spec} is not a link trace (no \"kind\": "
+                f"\"link-trace\" marker) — static fault plans go "
+                f"through --fault-profile, not --link-trace")
+        trace = LinkTrace.from_json(text)
+    else:
+        names = ", ".join(sorted(TRACE_SHAPES))
+        raise ValueError(f"unknown link trace {spec!r} "
+                         f"(not a shape [{names}], inline JSON, or "
+                         f"file)")
+    if trace_seed is not None:
+        trace = trace.with_seed(trace_seed)
+    return trace

@@ -27,7 +27,29 @@ from typing import Any, Optional, Tuple
 
 
 class ReliabilityError(RuntimeError):
-    """Retry budget exhausted — the fabric is effectively partitioned."""
+    """Retry budget exhausted — the fabric is effectively partitioned.
+
+    Carries the offending ``(src, dst)`` link, the attempt count, and
+    the op id as structured attributes so a policy misfire is
+    triageable straight from the exception (or the matching ``retry``
+    flight-recorder event) without parsing the message.
+    """
+
+    def __init__(self, message: str, *, src: Optional[int] = None,
+                 dst: Optional[int] = None,
+                 attempts: Optional[int] = None,
+                 op_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        self.op_id = op_id
+
+    @property
+    def link(self) -> Optional[Tuple[int, int]]:
+        if self.src is None or self.dst is None:
+            return None
+        return (self.src, self.dst)
 
 
 @dataclass(frozen=True)

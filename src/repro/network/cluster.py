@@ -46,6 +46,38 @@ class Cluster:
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
 
+    def set_link_state(self, src: int, dst: int, up: bool) -> None:
+        """Administratively take a directed link out of service (or
+        restore it).  Down links route via the transport's detour
+        next-hop — the manual version of what the
+        ``disable_and_repair`` repair policy does automatically."""
+        if not (0 <= src < self.nnodes and 0 <= dst < self.nnodes):
+            raise ValueError(f"no such link ({src}, {dst})")
+        if up:
+            self.transport.links_down.discard((src, dst))
+        else:
+            self.transport.links_down.add((src, dst))
+
+    def link_up(self, src: int, dst: int) -> bool:
+        return (src, dst) not in self.transport.links_down
+
+    def effective_loss(self, src: int, dst: int, t: float) -> float:
+        """Per-link effective loss probability at instant ``t``: the
+        installed trace's drop probability, 0.0 on a healthy fabric,
+        and 0.0 for a detoured (disabled/down) link — its traffic no
+        longer crosses the sick segment."""
+        faults = self.transport.faults
+        if faults is None or faults.trace is None:
+            return 0.0
+        policy = self.transport.policy
+        if policy is not None:
+            mode = policy.mode_of(src, dst, t)
+            if mode.mode == "disabled" and mode.via is not None:
+                return 0.0
+        if not self.link_up(src, dst):
+            return 0.0
+        return faults.trace.drop_prob(src, dst, t)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<Cluster {self.machine.name} nodes={self.nnodes} "
                 f"transport={self.params.name}>")

@@ -130,6 +130,16 @@ class Transport:
         self.ledger = DedupLedger(self.reliability.ledger_capacity)
         #: Runtime metrics block (injected); None on bare clusters.
         self.metrics = None
+        #: Per-link health tracker (injected with a repair policy);
+        #: None == no health accounting on the hot path.
+        self.health = None
+        #: Repair-policy engine (injected); None == static fabric.
+        #: Consulted for per-link retransmit knobs and detours.
+        self.policy = None
+        #: Links administratively taken down (``Cluster.
+        #: set_link_state``); their traffic detours like a policy
+        #: disable.  Empty set == zero-cost.
+        self.links_down = set()
         self._next_seq = 0
         #: Per-destination receive-buffer credit pools, lazily built.
         self._credits: Dict[int, Resource] = {}
@@ -185,20 +195,26 @@ class Transport:
     # -- reliability building blocks --------------------------------------
 
     def _await_timeout(self, t0: float, timeout_us: float, op_id: int,
-                       src: Node, dst: Node, proto: str):
+                       src: Node, dst: Node, proto: str,
+                       attempt: int = 0):
         """The initiator's retransmit (or RDMA completion) timer: wait
         out the remainder of the window opened at ``t0``, then record
-        the expiry."""
+        the expiry against the ``(src, dst)`` link."""
+        if self.policy is not None:
+            timeout_us *= self.policy.mode_of(src.id, dst.id,
+                                              self.sim.now).timeout_scale
         rest = timeout_us - (self.sim.now - t0)
         if rest > 0:
             yield self.sim.sleep(rest)
         self.counters.bump(f"{proto}-timeout")
         if self.metrics is not None:
             self.metrics.timeouts += 1
+            self.metrics.link_timeout(src.id, dst.id)
         ev = self.events
         if ev is not None and ev.enabled:
             ev.emit(self.sim.now, TIMEOUT, op=op_id, node=src.id,
-                    dst=dst.id, proto=proto, timeout_us=timeout_us)
+                    dst=dst.id, proto=proto, timeout_us=timeout_us,
+                    attempt=attempt)
 
     def _backoff(self, attempt: int, op_id: int, src: Node, dst: Node,
                  what: str):
@@ -209,13 +225,20 @@ class Transport:
         if attempt > r.max_retries:
             raise ReliabilityError(
                 f"{what} {src.id}->{dst.id} gave up after "
-                f"{r.max_retries} retries (op {op_id})")
+                f"{r.max_retries} retries (op {op_id})",
+                src=src.id, dst=dst.id, attempts=attempt, op_id=op_id)
         delay = r.backoff_us(attempt - 1)
+        if self.policy is not None:
+            delay *= self.policy.mode_of(src.id, dst.id,
+                                         self.sim.now).backoff_scale
         if delay > 0:
             yield self.sim.sleep(delay)
         self.counters.bump("am-retry")
         if self.metrics is not None:
             self.metrics.retries += 1
+            self.metrics.link_retry(src.id, dst.id)
+        if self.health is not None:
+            self.health.record(self.sim.now, src.id, dst.id, retries=1)
         ev = self.events
         if ev is not None and ev.enabled:
             ev.emit(self.sim.now, RETRY, op=op_id, node=src.id,
@@ -254,10 +277,35 @@ class Transport:
             node.nic.release()
 
     def _wire(self, src: Node, dst: Node, extra: float = 0.0):
-        """Pure latency of the fabric between two nodes."""
-        lat = self.topology.latency(src.id, dst.id) + extra
+        """Pure latency of the fabric between two nodes.
+
+        A link taken out of service (repair policy or administrative
+        ``links_down``) routes via the detour next-hop instead — two
+        healthy hops replace the one sick one."""
+        via = None
+        if self.policy is not None:
+            mode = self.policy.mode_of(src.id, dst.id, self.sim.now)
+            if mode.mode == "disabled":
+                via = mode.via
+        if via is None and self.links_down \
+                and (src.id, dst.id) in self.links_down:
+            via = self._detour_hop(src.id, dst.id)
+        if via is not None:
+            lat = (self.topology.latency(src.id, via)
+                   + self.topology.latency(via, dst.id) + extra)
+        else:
+            lat = self.topology.latency(src.id, dst.id) + extra
         if lat > 0:
             yield self.sim.sleep(lat)
+
+    def _detour_hop(self, src: int, dst: int):
+        """Deterministic alternate next-hop for a downed link: the
+        smallest node that is neither endpoint (None on a 2-node
+        fabric — the traffic then just rides the sick link)."""
+        for via in range(len(self.nodes)):
+            if via != src and via != dst:
+                return via
+        return None
 
     def _run_handler(self, dst: Node, handler: Optional[Handler],
                      handler_copy_bytes: int = 0,
@@ -418,7 +466,8 @@ class Transport:
             if ok:
                 return payload
             yield from self._await_timeout(t0, r.am_timeout_us, op_id,
-                                           src, dst, "am")
+                                           src, dst, "am",
+                                           attempt=attempt + 1)
             attempt += 1
             yield from self._backoff(attempt, op_id, src, dst, "am get")
 
@@ -641,7 +690,8 @@ class Transport:
                     if ok:
                         break
                     yield from self._await_timeout(t0, r.am_timeout_us,
-                                                   op_id, src, dst, "am")
+                                                   op_id, src, dst, "am",
+                                                   attempt=attempt + 1)
                     attempt += 1
                     yield from self._backoff(attempt, op_id, src, dst,
                                              "rendezvous put")
@@ -807,7 +857,8 @@ class Transport:
             # drop leg kills it); wait out the retransmit window, back
             # off, and serialize it through the initiator's NIC again.
             yield from self._await_timeout(t0, r.am_timeout_us, op_id,
-                                           src, dst, "am")
+                                           src, dst, "am",
+                                           attempt=attempt + 1)
             attempt += 1
             yield from self._backoff(attempt, op_id, src, dst,
                                      "put data")
@@ -864,7 +915,8 @@ class Transport:
                     self._spawn_duplicate(src, dst, 0, -1, key)
                 return
             yield from self._await_timeout(t0, r.am_timeout_us, -1,
-                                           src, dst, "am")
+                                           src, dst, "am",
+                                           attempt=attempt + 1)
             attempt += 1
             yield from self._backoff(attempt, -1, src, dst, "am oneway")
 
@@ -898,7 +950,7 @@ class Transport:
             # ever arrive — burn the completion window and report.
             yield from self._await_timeout(
                 t_start, self.reliability.rdma_timeout_us, op_id,
-                src, dst, "rdma")
+                src, dst, "rdma", attempt=1)
             return False
         yield from self._wire(src, dst,
                               extra=p.rdma_get_premium_us + fate.delay_us)
@@ -957,7 +1009,7 @@ class Transport:
         if fate.drop_request:
             yield from self._await_timeout(
                 t_start, self.reliability.rdma_timeout_us, op_id,
-                src, dst, "rdma")
+                src, dst, "rdma", attempt=1)
             return None
         if p.rdma_put_waits_remote:
             t1 = self.sim.now

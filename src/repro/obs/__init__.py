@@ -65,6 +65,7 @@ from repro.obs.events import (
     OP_END,
     PHASE,
     PIN,
+    POLICY_ACTION,
     QUEUE_ENTER,
     QUEUE_LEAVE,
     RDMA_COMPLETE,
@@ -153,6 +154,7 @@ __all__ = [
     "TIMEOUT",
     "RETRY",
     "DEGRADE",
+    "POLICY_ACTION",
     "XSHARD_SEND",
     "XSHARD_RECV",
     "SYNC_ROUND",

@@ -35,9 +35,17 @@ from repro.obs.sampler import CounterSampler
 FORMATS = ("chrome", "jsonl", "csv")
 
 
+def _cli_nnodes(machine: str, nthreads: int) -> int:
+    """Node count a DIS run with machine defaults will use — what
+    trace-shape generators need before the Runtime exists."""
+    tpn = MACHINES[machine].default_threads_per_node
+    return max(1, -(-nthreads // tpn))
+
+
 def _workload(name: str, quick: bool, machine: str, nthreads: int,
               seed: int, events: EventLog, tracer,
-              fault_plan=None) -> Callable:
+              fault_plan=None, link_trace=None,
+              repair_policy=None) -> Callable:
     """Build a zero-argument runner for one DIS stressmark."""
     from repro.workloads import (
         CornerTurnParams,
@@ -55,7 +63,8 @@ def _workload(name: str, quick: bool, machine: str, nthreads: int,
     )
 
     kw = dict(machine=MACHINES[machine], nthreads=nthreads, seed=seed,
-              events=events, tracer=tracer, fault_plan=fault_plan)
+              events=events, tracer=tracer, fault_plan=fault_plan,
+              link_trace=link_trace, repair_policy=repair_policy)
     if name == "pointer":
         p = PointerParams(**kw, nelems=1 << 10 if quick else 1 << 14,
                           hops=12 if quick else 48)
@@ -102,9 +111,10 @@ def _trace_sharded(ap, args, formats) -> int:
     if "csv" in formats:
         ap.error("csv (Paraver state) export is full-runtime only; "
                  "not available with --shards")
-    if args.fault_profile is not None:
-        ap.error("fault plans run on the full runtime only; "
-                 "not available with --shards")
+    if args.fault_profile is not None or args.link_trace is not None:
+        ap.error("fault plans and link traces run on the full runtime "
+                 "only; not available with --shards (use 'python -m "
+                 "repro kvtraffic --link-trace' for the sharded core)")
 
     from repro.obs.export import export_chrome_sharded
     from repro.obs.shardlog import merge_shard_events, xshard_pairs
@@ -184,6 +194,17 @@ def trace_main(argv) -> int:
                          "file path (see docs/FAULTS.md)")
     ap.add_argument("--fault-seed", type=int, default=None,
                     help="override the fault plan's RNG seed")
+    ap.add_argument("--link-trace", default=None, metavar="SPEC",
+                    help="time-evolving link degradation: a shape name "
+                         "(flap, burst, degrade, gray), inline JSON, or "
+                         "a JSON file path (see docs/FAULTS.md)")
+    ap.add_argument("--trace-seed", type=int, default=None,
+                    help="override the link trace's seed")
+    ap.add_argument("--repair-policy", default=None,
+                    choices=("do_nothing", "retransmit_tuning",
+                             "disable_and_repair", "path_failover"),
+                    help="repair policy acting on per-link health "
+                         "(needs --link-trace or --fault-profile)")
     ap.add_argument("--sample-us", type=float, default=100.0,
                     help="counter sampling interval in virtual µs "
                          "(0 disables; default 100)")
@@ -213,10 +234,24 @@ def trace_main(argv) -> int:
                                          fault_seed=args.fault_seed)
         except ValueError as exc:
             ap.error(str(exc))
+    link_trace = None
+    if args.link_trace is not None:
+        from repro.faults import resolve_trace
+        try:
+            link_trace = resolve_trace(
+                args.link_trace,
+                _cli_nnodes(args.machine, args.nthreads),
+                trace_seed=args.trace_seed)
+        except ValueError as exc:
+            ap.error(str(exc))
+    if args.repair_policy and fault_plan is None and link_trace is None:
+        ap.error("--repair-policy needs --link-trace or "
+                 "--fault-profile to observe")
 
     runner = _workload(args.workload, args.quick, args.machine,
                        args.nthreads, args.seed, log, tracer,
-                       fault_plan=fault_plan)
+                       fault_plan=fault_plan, link_trace=link_trace,
+                       repair_policy=args.repair_policy)
 
     t0 = time.time()
     # The sampler needs the Runtime, which the stressmark builds
@@ -270,12 +305,22 @@ def trace_main(argv) -> int:
           f"({log.dropped_events} dropped), {n_ops} ops, "
           f"{len(sampler.samples) if sampler else 0} counter samples "
           f"({wall:.1f}s)")
-    if fault_plan is not None:
+    if fault_plan is not None or link_trace is not None:
         m = run.metrics
         print(f"  faults: {m.faults_injected} injected, "
               f"{m.timeouts} timeouts, {m.retries} retries, "
               f"{m.rdma_timeouts} rdma->am fallbacks, "
               f"{m.pin_degrades} degraded handles")
+        noisy = m.noisy_links(3)
+        if noisy:
+            links = ", ".join(
+                f"{r['src']}->{r['dst']} ({r['timeouts']}t/"
+                f"{r['retries']}r)" for r in noisy)
+            print(f"  noisy links: {links}")
+    if args.repair_policy:
+        m = run.metrics
+        print(f"  policy {args.repair_policy}: {m.policy_actions} "
+              f"action(s), {m.kv_failover_ops} kv failover op(s)")
     for line in artifacts:
         print(f"  wrote {line}")
 

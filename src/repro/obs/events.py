@@ -112,6 +112,9 @@ FAULT_INJECT = "fault_inject"
 TIMEOUT = "timeout"
 RETRY = "retry"
 DEGRADE = "degrade"
+#: A repair policy acted on a link (tune/untune, disable/restore,
+#: failover/failback) — attrs carry src/dst, action, mode, policy.
+POLICY_ACTION = "policy_action"
 
 #: Latency-breakdown components carried by ``phase`` events.  Software
 #: overhead has no phase events: it is defined as the residual

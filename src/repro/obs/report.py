@@ -11,7 +11,10 @@ summary:
 * ``slo.json``            — the SLO monitor's windows, summary and
   anomaly flags (from ``kvtraffic --slo-target-us``);
 * ``shard_summary.json``  — the sharded core's metric rollup
-  (sync rounds, channel traffic, per-shard clocks).
+  (sync rounds, channel traffic, per-shard clocks);
+* ``links.json``          — per-link health totals, exhausted
+  requests and repair-policy decisions (from ``kvtraffic
+  --link-trace``).
 
 Output is ``report.txt`` (also printed) and ``report.json`` in the
 same directory, so a CI artifact of the run dir is self-describing.
@@ -173,10 +176,39 @@ def _render_shard_summary(s: dict) -> List[str]:
     return lines
 
 
+def _render_links(doc: dict) -> List[str]:
+    """Per-link health + repair-policy rollup from links.json."""
+    links = doc.get("links", {})
+    noisy = sorted(
+        links.items(),
+        key=lambda kv: (-kv[1]["timeouts"], -kv[1]["retries"], kv[0]))
+    lines = [f"links: {len(links)} observed, "
+             f"{doc.get('failures', 0)} exhausted request(s)"]
+    if noisy:
+        lines.append(f"  {'link':<8} {'attempts':>9} {'timeouts':>9} "
+                     f"{'retries':>8} {'deliveries':>11}")
+        for link, tot in noisy[:5]:
+            lines.append(
+                f"  {link:<8} {tot['attempts']:>9} "
+                f"{tot['timeouts']:>9} {tot['retries']:>8} "
+                f"{tot['deliveries']:>11}")
+    policy = doc.get("policy")
+    if policy:
+        lines.append(f"  policy {policy['name']}: "
+                     f"{len(policy.get('decisions', []))} decision(s), "
+                     f"digest {int(policy['digest']):#018x}")
+        for d in policy.get("decisions", [])[:8]:
+            lines.append(
+                f"    t={d['t_us']:>9.1f}us {d['src']}->{d['dst']} "
+                f"{d['action']} -> {d['mode']}")
+    return lines
+
+
 def build_report(run_dir: str) -> dict:
     """Scan ``run_dir`` and assemble the unified report dict."""
     report: dict = {"run_dir": os.path.abspath(run_dir),
-                    "events": [], "slo": None, "shard_summary": None}
+                    "events": [], "slo": None, "shard_summary": None,
+                    "links": None}
     for path in sorted(glob.glob(os.path.join(run_dir,
                                               "*.events.jsonl"))):
         report["events"].append(analyze_events(path))
@@ -188,6 +220,10 @@ def build_report(run_dir: str) -> dict:
     if os.path.exists(ss_path):
         with open(ss_path, encoding="utf-8") as fh:
             report["shard_summary"] = json.load(fh)
+    links_path = os.path.join(run_dir, "links.json")
+    if os.path.exists(links_path):
+        with open(links_path, encoding="utf-8") as fh:
+            report["links"] = json.load(fh)
     return report
 
 
@@ -204,10 +240,14 @@ def render_report(report: dict) -> str:
         lines.append("")
         lines.append(render_slo(s["windows"], s["summary"],
                                 s.get("anomalies", [])))
+    if report.get("links"):
+        lines.append("")
+        lines.extend(_render_links(report["links"]))
     if not (report["events"] or report["slo"]
-            or report["shard_summary"]):
+            or report["shard_summary"] or report.get("links")):
         lines.append("  (no recognized artifacts — expected "
-                     "*.events.jsonl, slo.json or shard_summary.json)")
+                     "*.events.jsonl, slo.json, shard_summary.json "
+                     "or links.json)")
     return "\n".join(lines)
 
 

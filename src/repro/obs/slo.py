@@ -76,7 +76,7 @@ class SLOWindow:
     """One fixed time window's worth of completions."""
 
     __slots__ = ("index", "count", "violations", "hits", "retries",
-                 "max_inflight", "hist")
+                 "max_inflight", "policy_actions", "hist")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -85,6 +85,7 @@ class SLOWindow:
         self.hits = 0
         self.retries = 0
         self.max_inflight = 0
+        self.policy_actions = 0
         self.hist = [0] * SLO_HIST_BINS
 
     def p50(self) -> float:
@@ -141,6 +142,16 @@ class SLOMonitor:
             w.max_inflight = inflight
         self.digest.add(latency_us)
 
+    def observe_policy_action(self, t: float) -> None:
+        """Record one repair-policy action at virtual time ``t`` — the
+        window series then shows *when* the policy moved, so flapping
+        policies surface in the same view as their latency damage."""
+        idx = int(t // self.window_us)
+        w = self.windows.get(idx)
+        if w is None:
+            w = self.windows[idx] = SLOWindow(idx)
+        w.policy_actions += 1
+
     # -- window math ---------------------------------------------------
 
     def burn_rate(self, window: SLOWindow) -> float:
@@ -161,6 +172,7 @@ class SLOMonitor:
         return [{"index": w.index, "count": w.count,
                  "violations": w.violations, "hits": w.hits,
                  "retries": w.retries, "max_inflight": w.max_inflight,
+                 "policy_actions": w.policy_actions,
                  "hist": list(w.hist)}
                 for w in self.sorted_windows()]
 
@@ -177,6 +189,7 @@ class SLOMonitor:
                     m = merged[w["index"]] = {
                         "index": w["index"], "count": 0, "violations": 0,
                         "hits": 0, "retries": 0, "max_inflight": 0,
+                        "policy_actions": 0,
                         "hist": [0] * SLO_HIST_BINS}
                 m["count"] += w["count"]
                 m["violations"] += w["violations"]
@@ -184,6 +197,7 @@ class SLOMonitor:
                 m["retries"] += w["retries"]
                 m["max_inflight"] = max(m["max_inflight"],
                                         w["max_inflight"])
+                m["policy_actions"] += w.get("policy_actions", 0)
                 m["hist"] = [a + b for a, b in zip(m["hist"], w["hist"])]
         return [merged[i] for i in sorted(merged)]
 
@@ -208,6 +222,7 @@ def window_stats(window: dict, *, target_us: float, window_us: float,
         "hit_rate": window["hits"] / count if count else 0.0,
         "retries": window["retries"],
         "max_inflight": window["max_inflight"],
+        "policy_actions": window.get("policy_actions", 0),
     }
 
 
@@ -225,7 +240,8 @@ def detect_anomalies(windows: List[dict], *, target_us: float,
                      retry_frac: float = 0.05, min_retries: int = 8,
                      backlog_factor: float = 3.0, min_inflight: int = 8,
                      p99_factor: float = 2.0, min_count: int = 16,
-                     warmup_windows: int = 3) -> List[dict]:
+                     warmup_windows: int = 3,
+                     flap_actions: int = 4) -> List[dict]:
     """Threshold anomaly detectors over a merged window series.
 
     Each flag is ``{"kind", "index", "t0_us", "t1_us", "value",
@@ -242,7 +258,11 @@ def detect_anomalies(windows: List[dict], *, target_us: float,
         window p99 above ``p99_factor`` × the median p99 of *preceding*
         windows (at least ``warmup_windows`` of them, each with
         ``min_count`` completions — the causal form a live monitor
-        could actually alert on).
+        could actually alert on);
+    ``policy_flap``
+        ``flap_actions`` or more repair-policy actions inside one
+        window — a policy oscillating faster than the service recovers
+        is itself an incident.
     """
     flags: List[dict] = []
 
@@ -258,6 +278,11 @@ def detect_anomalies(windows: List[dict], *, target_us: float,
         frac = w["retries"] / w["count"]
         if w["retries"] >= min_retries and frac > retry_frac:
             flag("retry_storm", w, frac, retry_frac)
+
+    for w in windows:
+        actions = w.get("policy_actions", 0)
+        if actions >= flap_actions:
+            flag("policy_flap", w, float(actions), float(flap_actions))
 
     peaks = [w["max_inflight"] for w in windows if w["count"]]
     med_peak = _median([float(p) for p in peaks])
@@ -285,7 +310,7 @@ def slo_summary(windows: List[dict], *, target_us: float,
     """Run-level rollup of a merged window series (overall quantiles
     from the summed histograms, total burn, worst window)."""
     total_hist = [0] * SLO_HIST_BINS
-    count = violations = hits = retries = 0
+    count = violations = hits = retries = policy_actions = 0
     worst: Optional[dict] = None
     budget = 1.0 - slo_quantile
     for w in windows:
@@ -294,6 +319,7 @@ def slo_summary(windows: List[dict], *, target_us: float,
         violations += w["violations"]
         hits += w["hits"]
         retries += w["retries"]
+        policy_actions += w.get("policy_actions", 0)
         if w["count"]:
             burn = (w["violations"] / w["count"]) / budget
             if worst is None or burn > worst["burn_rate"]:
@@ -312,6 +338,7 @@ def slo_summary(windows: List[dict], *, target_us: float,
         "p99_us": hist_quantile(total_hist, 0.99),
         "hit_rate": hits / count if count else 0.0,
         "retries": retries,
+        "policy_actions": policy_actions,
         "worst_window": worst,
     }
 

@@ -53,6 +53,9 @@ class RuntimeMetrics:
     kv_mgets: int = 0
     kv_rpc_ops: int = 0
     kv_onesided_ops: int = 0
+    #: One-sided ops a ``path_failover`` repair policy flipped to the
+    #: RPC path (subset of ``kv_rpc_ops``).
+    kv_failover_ops: int = 0
 
     compute_time_us: float = 0.0
 
@@ -82,6 +85,15 @@ class RuntimeMetrics:
     rdma_timeouts: int = 0
     pin_degrades: int = 0
     faults_injected: int = 0
+    #: Repair-policy actions applied (link tuned / disabled / failed
+    #: over and their reversals).
+    policy_actions: int = 0
+
+    #: Per-link reliability accounting: (src, dst) -> count.  Feeds
+    #: the top-k noisy-links rollup in :meth:`summary` and the
+    #: ``repro report`` shard rollups.
+    link_timeouts: Dict = field(default_factory=dict)
+    link_retries: Dict = field(default_factory=dict)
 
     #: Peak AM-handler backlog observed by any polling progress engine
     #: (handlers queued while no thread was polling, §4.6) — updated on
@@ -95,6 +107,27 @@ class RuntimeMetrics:
     def attach_shards(self, shard_metrics: List[ShardMetrics]) -> None:
         """Adopt the per-shard metrics of a sharded run."""
         self.shards = list(shard_metrics)
+
+    def link_timeout(self, src: int, dst: int) -> None:
+        key = (src, dst)
+        self.link_timeouts[key] = self.link_timeouts.get(key, 0) + 1
+
+    def link_retry(self, src: int, dst: int) -> None:
+        key = (src, dst)
+        self.link_retries[key] = self.link_retries.get(key, 0) + 1
+
+    def noisy_links(self, k: int = 5) -> List[Dict]:
+        """Top-``k`` links by (timeouts, retries) — the triage list a
+        repair policy would act on, and what ``repro report`` renders
+        in its shard rollups."""
+        keys = set(self.link_timeouts) | set(self.link_retries)
+        rows = [{"src": src, "dst": dst,
+                 "timeouts": self.link_timeouts.get((src, dst), 0),
+                 "retries": self.link_retries.get((src, dst), 0)}
+                for src, dst in keys]
+        rows.sort(key=lambda r: (-r["timeouts"], -r["retries"],
+                                 r["src"], r["dst"]))
+        return rows[:k]
 
     def record_get(self, kind: str, latency_us: float) -> None:
         if kind == "remote":
@@ -186,6 +219,9 @@ class RuntimeMetrics:
             "rdma_fallbacks": self.rdma_timeouts,
             "degraded_handles": self.pin_degrades,
             "faults_injected": self.faults_injected,
+            "policy_actions": self.policy_actions,
+            "kv_failover_ops": self.kv_failover_ops,
+            "noisy_links": self.noisy_links(),
         }
 
 

@@ -117,6 +117,20 @@ class RuntimeConfig:
     #: fault plan (the default False preserves strict
     #: PinLimitError-raising behavior for capacity experiments).
     degrade_pin_failures: bool = False
+    #: Optional time-evolving :class:`repro.faults.LinkTrace`.  None —
+    #: or an *empty* trace — layers nothing on the fabric; a non-empty
+    #: trace installs the injector (with an empty plan if none was
+    #: configured) so the reliability protocols engage.
+    link_trace: Optional[object] = None
+    #: Optional repair policy name (one of
+    #: :data:`repro.faults.POLICIES`); None = static fabric.  Builds a
+    #: :class:`repro.faults.PolicyEngine` over a per-link
+    #: :class:`repro.faults.HealthTracker` and wires both into the
+    #: transport and injector.
+    repair_policy: Optional[str] = None
+    #: Policy thresholds (a :class:`repro.faults.PolicyConfig`); None
+    #: keeps the defaults.
+    policy_config: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.nthreads < 1:
@@ -204,16 +218,47 @@ class Runtime:
         # Fault plane + reliability layer.  An absent or *empty* plan
         # installs nothing — transport.faults stays None and every
         # hot-path site short-circuits on that, keeping fault-free
-        # runs bit-identical to the pre-fault build.
+        # runs bit-identical to the pre-fault build.  A non-empty link
+        # trace installs the injector too (over an empty plan when no
+        # static rules were configured) so the retransmit protocols
+        # engage against the evolving loss.
         self.faults = None
-        if config.fault_plan is not None and not config.fault_plan.empty:
+        self.health = None
+        self.policy = None
+        trace = config.link_trace
+        if trace is not None and trace.empty:
+            trace = None
+        have_plan = (config.fault_plan is not None
+                     and not config.fault_plan.empty)
+        if have_plan or trace is not None:
             from repro.faults.injector import FaultInjector
-            self.faults = FaultInjector(config.fault_plan, self.sim,
+            from repro.faults.plan import FaultPlan
+            plan = config.fault_plan if have_plan else FaultPlan(
+                seed=trace.seed if trace is not None else 0)
+            if config.repair_policy is not None:
+                from repro.faults.health import HealthTracker
+                from repro.faults.policy import PolicyConfig, PolicyEngine
+                pcfg = config.policy_config or PolicyConfig()
+                self.health = HealthTracker(pcfg.window_us)
+                self.policy = PolicyEngine(
+                    config.repair_policy, pcfg, self.health,
+                    nnodes=self.cluster.nnodes,
+                    on_decision=self._on_policy_decision)
+            self.faults = FaultInjector(plan, self.sim,
                                         events=self.events,
-                                        metrics=self.metrics)
+                                        metrics=self.metrics,
+                                        trace=trace,
+                                        policy=self.policy,
+                                        health=self.health)
             self.cluster.transport.faults = self.faults
+            self.cluster.transport.health = self.health
+            self.cluster.transport.policy = self.policy
             for node in self.cluster.nodes:
                 node.progress.faults = self.faults
+        elif config.repair_policy is not None:
+            raise UPCRuntimeError(
+                "repair_policy needs a fault plan or link trace to "
+                "observe — configure fault_plan or link_trace")
         self.cluster.transport.metrics = self.metrics
         if config.reliability is not None:
             from repro.faults.reliability import DedupLedger
@@ -234,6 +279,18 @@ class Runtime:
         #: the same sequence of collectives, so call #k on thread A
         #: pairs with call #k on thread B.
         self._collective_seq: Dict[int, int] = {}
+
+    def _on_policy_decision(self, decision: Dict) -> None:
+        """Repair-policy actuation hook: count it and put it on the
+        flight-recorder timeline (feeds the SLO/anomaly windows)."""
+        self.metrics.policy_actions += 1
+        ev = self.events
+        if ev is not None and ev.enabled:
+            from repro.obs.events import POLICY_ACTION
+            ev.emit(self.sim.now, POLICY_ACTION,
+                    node=decision["src"], dst=decision["dst"],
+                    action=decision["action"], mode=decision["mode"],
+                    t_us=decision["t_us"], policy=decision["policy"])
 
     # -- thread <-> node mapping -------------------------------------------
 
@@ -546,6 +603,17 @@ class Runtime:
                 f"{m.timeouts} timeouts, {m.retries} retries, "
                 f"{m.rdma_timeouts} rdma->am fallbacks, "
                 f"{m.pin_degrades} handles degraded to AM")
+            noisy = m.noisy_links(3)
+            if noisy:
+                links = ", ".join(
+                    f"{r['src']}->{r['dst']} ({r['timeouts']} tmo/"
+                    f"{r['retries']} rty)" for r in noisy)
+                lines.append(f"  noisy links: {links}")
+        if self.policy is not None:
+            lines.append(
+                f"  repair policy: {self.policy.policy} — "
+                f"{len(self.policy.decisions)} decision(s), "
+                f"digest {self.policy.decisions_digest():#x}")
         for node in self.cluster.nodes[:8]:
             assert node.progress is not None
             lines.append(

@@ -188,6 +188,46 @@ class KVStore:
             return None
         return self.locks[bucket % len(self.locks)]
 
+    # -- access-path selection ----------------------------------------
+
+    def _path(self, th: "UPCThread", bucket: int) -> str:
+        """The access path serving this op: the configured one, except
+        that a ``path_failover`` repair policy holding the link to the
+        bucket's home in failover mode flips one-sided traffic to RPC
+        for the duration (an RPC retry re-issues cheaply; a one-sided
+        retry pays RDMA invalidation + re-validation on top)."""
+        if self.access == "rpc":
+            return "rpc"
+        policy = getattr(self.runtime, "policy", None)
+        if policy is None:
+            return "onesided"
+        home = self.home_node(bucket)
+        if home != th.node.id and policy.mode_of(
+                th.node.id, home, self.runtime.sim.now
+        ).mode == "failover":
+            self.runtime.metrics.kv_failover_ops += 1
+            return "rpc"
+        return "onesided"
+
+    def _mget_path(self, th: "UPCThread", keys) -> str:
+        """Batched variant: the whole batch fails over if any of its
+        home links is in failover mode (homes are visited in sorted
+        order, so the check is deterministic)."""
+        if self.access == "rpc":
+            return "rpc"
+        policy = getattr(self.runtime, "policy", None)
+        if policy is None:
+            return "onesided"
+        now = self.runtime.sim.now
+        me = th.node.id
+        for home in sorted({self.home_node(self.bucket_of(k))
+                            for k in keys}):
+            if home != me and policy.mode_of(me, home, now).mode \
+                    == "failover":
+                self.runtime.metrics.kv_failover_ops += 1
+                return "rpc"
+        return "onesided"
+
     # -- operations ---------------------------------------------------
 
     def get(self, th: "UPCThread", key):
@@ -195,7 +235,7 @@ class KVStore:
         key = _check_key(key)
         op_id = th._span_begin(KV_GET)
         self.runtime.metrics.kv_gets += 1
-        if self.access == "rpc":
+        if self._path(th, self.bucket_of(key)) == "rpc":
             t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             value = yield from self._rpc(th, "get", (key,))
             if op_id >= 0:
@@ -228,7 +268,7 @@ class KVStore:
         value = _check_value(value)
         op_id = th._span_begin(KV_PUT)
         self.runtime.metrics.kv_puts += 1
-        if self.access == "rpc":
+        if self._path(th, self.bucket_of(key)) == "rpc":
             t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             yield from self._rpc(th, "put", (key, value))
             if op_id >= 0:
@@ -267,7 +307,7 @@ class KVStore:
         key = _check_key(key)
         op_id = th._span_begin(KV_DEL)
         self.runtime.metrics.kv_dels += 1
-        if self.access == "rpc":
+        if self._path(th, self.bucket_of(key)) == "rpc":
             t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             found = yield from self._rpc(th, "del", (key,))
             if op_id >= 0:
@@ -317,7 +357,7 @@ class KVStore:
         if not keys:
             th._span_end(op_id, nkeys=0)
             return []
-        if self.access == "rpc":
+        if self._mget_path(th, keys) == "rpc":
             t0 = self.runtime.sim.now if op_id >= 0 else 0.0
             values = yield from self._rpc_mget(th, keys)
             if op_id >= 0:

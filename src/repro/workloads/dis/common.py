@@ -41,6 +41,11 @@ class DISBase:
     #: :mod:`repro.faults` and docs/FAULTS.md).
     fault_plan: Optional[Any] = None
     reliability: Optional[Any] = None
+    #: Optional time-evolving link degradation trace (a
+    #: :class:`repro.faults.LinkTrace`) and the repair policy watching
+    #: it (a :data:`repro.faults.POLICIES` name).
+    link_trace: Optional[Any] = None
+    repair_policy: Optional[str] = None
     #: Event-core selection: True runs the pooled fast core, False the
     #: legacy reference core (see repro.sim.simulator).  Schedules are
     #: bit-identical; benchmarks flip this to measure the speedup.
@@ -66,6 +71,8 @@ class DISBase:
             events=self.events,
             fault_plan=self.fault_plan,
             reliability=self.reliability,
+            link_trace=self.link_trace,
+            repair_policy=self.repair_policy,
         )
         from repro.sim.simulator import Simulator
         return Runtime(cfg, sim=Simulator(pooled=self.pooled_core))

@@ -37,10 +37,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.health import HealthTracker
+from repro.faults.policy import (PolicyConfig, PolicyEngine,
+                                 decisions_digest)
+from repro.faults.trace import LinkTrace, fate_u01
 from repro.network.params import MACHINES, MachineParams
 from repro.network.partition import lookahead_matrix, partition_nodes
 from repro.network.topology import make_topology
-from repro.obs.events import OP_BEGIN, OP_END
+from repro.obs.events import OP_BEGIN, OP_END, POLICY_ACTION
 from repro.obs.slo import SLOMonitor, detect_anomalies, slo_summary
 from repro.sim.shard import ShardContext, ShardedSimulator
 from repro.util.rng import StreamFamily
@@ -68,6 +72,21 @@ _CONN_SETUP_US = 5.0
 _KV_SCAN_US = 0.02
 #: Extra handler cost of a mutating request (lock + write-back).
 _PUT_EXTRA_US = 0.3
+
+#: Retransmit model under a link trace (client-side, planned whole at
+#: issue time so the fate chain is a pure function of identity).
+_TRACE_TIMEOUT_US = 30.0
+_TRACE_BACKOFF_US = 8.0
+_TRACE_BACKOFF_FACTOR = 2.0
+_TRACE_BACKOFF_MAX_US = 64.0
+_TRACE_MAX_RETRIES = 24
+#: A retry on the one-sided path pays RDMA invalidation + AM address
+#: re-validation on top of the retransmit (the Storm asymmetry that
+#: makes ``path_failover`` worthwhile under sustained loss).
+_ONESIDED_RETRY_PENALTY_US = 12.0
+#: Digest salt folding the per-request fate chain (retries, failures)
+#: into the per-client digest.
+_FATE_SALT = 0x7ACE
 
 
 def hist_edges() -> np.ndarray:
@@ -153,6 +172,12 @@ class TrafficParams:
     slo_target_us: float = 0.0
     #: SLO rolling-window width (µs of virtual time).
     slo_window_us: float = 5000.0
+    #: Link-trace JSON (``LinkTrace.to_json()``); "" = healthy fabric,
+    #: taking the exact pre-trace code path.
+    link_trace: str = ""
+    #: Repair policy name (:data:`repro.faults.POLICIES`); "" = none.
+    #: Requires a link trace to observe.
+    repair_policy: str = ""
 
     def per_client(self) -> int:
         return max(1, -(-self.requests // self.nclients))
@@ -233,8 +258,30 @@ class _TrafficCore:
         self.hist_hit = np.zeros(HIST_BINS, dtype=np.int64)
         self.hist_miss = np.zeros(HIST_BINS, dtype=np.int64)
         self.counts = {"requests": 0, "hits": 0, "misses": 0,
-                       "conns": 0, "puts": 0, "gets": 0}
+                       "conns": 0, "puts": 0, "gets": 0,
+                       "failures": 0}
         self.digests = {}
+        #: Lossy-fabric plane: a time-evolving link trace plus an
+        #: optional repair policy observing per-link health.  All three
+        #: stay ``None`` on a healthy fabric so the pre-trace code path
+        #: (and its bit-exact digests) is untouched.
+        self.trace = (LinkTrace.from_json(p.link_trace)
+                      if p.link_trace else None)
+        if self.trace is not None and self.trace.empty:
+            self.trace = None
+        self.health = None
+        self.policy = None
+        if p.repair_policy and self.trace is None:
+            raise ValueError(
+                "repair_policy needs a link trace to observe — "
+                "set link_trace too")
+        if self.trace is not None:
+            pcfg = PolicyConfig()
+            self.health = HealthTracker(pcfg.window_us)
+            if p.repair_policy:
+                self.policy = PolicyEngine(
+                    p.repair_policy, pcfg, self.health,
+                    nnodes=p.nnodes, on_decision=self._on_decision)
         #: Streaming SLO monitor (pure bookkeeping — never schedules
         #: sim events, so enabling it leaves runs bit-identical).
         self.slo = (SLOMonitor(p.slo_target_us, p.slo_window_us)
@@ -306,11 +353,135 @@ class _TrafficCore:
                               node=node, name="kv_req", key=key,
                               hit=hit, put=is_put, nbytes=req_bytes)
                 self._ops[(client, seq)] = op
-            self.ctx.send(
-                self.part.shard_of(server), "kv_req",
-                (server, node, client, seq, hit, is_put, _tq(sim.now)),
-                latency=self._latency(node, server, req_bytes, extra),
-                nbytes=req_bytes)
+            if self.trace is None:
+                self.ctx.send(
+                    self.part.shard_of(server), "kv_req",
+                    (server, node, client, seq, hit, is_put,
+                     _tq(sim.now)),
+                    latency=self._latency(node, server, req_bytes,
+                                          extra),
+                    nbytes=req_bytes)
+            else:
+                self._issue_traced(client, node, seq, server, hit,
+                                   is_put, req_bytes, extra)
+
+    # -- lossy-fabric issue path ---------------------------------------
+
+    def _issue_traced(self, client: int, node: int, seq: int,
+                      server: int, hit: bool, is_put: bool,
+                      req_bytes: int, extra: float) -> None:
+        """Issue one request under the link trace: plan the whole
+        retransmit chain now, as a pure function of (trace seed, client,
+        seq, attempt) hash draws and the policy's mode at each attempt
+        instant — no RNG state, no reply-time feedback — so the fate
+        sequence and every policy decision are bit-identical across
+        shard layouts.  Only the surviving attempt crosses the shard
+        boundary (its latency includes all the waiting, so it is never
+        below the topology lookahead)."""
+        t0 = self.sim.now
+        tr = self.trace
+        eng = self.policy
+        seed = tr.seed
+        attempt = 0
+        t_try = t0
+        failed = False
+        mode = None
+        d_req = d_rep = 0.0
+        while True:
+            mode = (eng.mode_of(node, server, t_try, horizon=t0)
+                    if eng is not None else None)
+            detoured = (mode is not None and mode.mode == "disabled"
+                        and mode.via is not None)
+            if detoured:
+                # Traffic no longer crosses the sick segment: no loss,
+                # no trace delay — the detour's cost is wire distance.
+                dropped = False
+                d_req = d_rep = 0.0
+            else:
+                d_req = tr.at(node, server, t_try)[2]
+                d_rep = tr.at(server, node, t_try)[2]
+                dropped = (
+                    fate_u01(seed, client, seq, attempt, 0)
+                    < tr.drop_prob(node, server, t_try)
+                    or fate_u01(seed, client, seq, attempt, 1)
+                    < tr.drop_prob(server, node, t_try))
+            if self.health is not None:
+                self.health.record(
+                    t_try, node, server, attempts=1,
+                    timeouts=1 if dropped else 0,
+                    deliveries=0 if dropped else 1)
+            if not dropped:
+                break
+            tscale = mode.timeout_scale if mode is not None else 1.0
+            bscale = mode.backoff_scale if mode is not None else 1.0
+            timeout = _TRACE_TIMEOUT_US * tscale
+            if self.health is not None:
+                self.health.record(t_try + timeout, node, server,
+                                   retries=1)
+            if attempt >= _TRACE_MAX_RETRIES:
+                failed = True
+                break
+            backoff = min(_TRACE_BACKOFF_MAX_US,
+                          _TRACE_BACKOFF_US
+                          * _TRACE_BACKOFF_FACTOR ** attempt)
+            t_try = t_try + timeout + backoff * bscale
+            attempt += 1
+        # Fold the fate chain into the digest so replay bit-identity
+        # covers retries and exhausted requests, not just completions.
+        self.digests[client] = (
+            self.digests.get(client, 0)
+            + _commute_hash(seq, attempt, int(failed), _FATE_SALT)
+        ) & _MASK64
+        if failed:
+            self.counts["failures"] += 1
+            if self.slo is not None:
+                self.inflight[node] = self.inflight.get(node, 0) - 1
+            if self.log.enabled:
+                op = self._ops.pop((client, seq), -1)
+                if op >= 0:
+                    self.log.emit(self.sim.now, OP_END, op=op,
+                                  thread=client, node=node,
+                                  failed=True, attempts=attempt + 1)
+            return
+        failover = mode is not None and mode.mode == "failover"
+        onesided = hit and not failover
+        service = 0.0 if onesided else self._am_extra
+        if is_put:
+            service += _PUT_EXTRA_US
+        if attempt and onesided:
+            service += attempt * _ONESIDED_RETRY_PENALTY_US
+        det_req = det_rep = 0.0
+        if (mode is not None and mode.mode == "disabled"
+                and mode.via is not None):
+            via = mode.via
+            lat = self.topo.latency
+            det_req = max(0.0, lat(node, via) + lat(via, server)
+                          - lat(node, server))
+            det_rep = max(0.0, lat(server, via) + lat(via, node)
+                          - lat(server, node))
+        self.ctx.send(
+            self.part.shard_of(server), "kv_treq",
+            (server, node, client, seq, hit, is_put, _tq(t0),
+             service + d_rep + det_rep),
+            latency=((t_try - t0)
+                     + self._latency(node, server, req_bytes,
+                                     extra + d_req + det_req)),
+            nbytes=req_bytes)
+
+    def _on_decision(self, decision: dict) -> None:
+        """Policy decision hook: feed the SLO monitor's per-window
+        action counter and the flight recorder.  Decisions fire during
+        issue-time ``mode_of`` folds on the link's owning shard, so
+        both observations are layout-invariant."""
+        if self.slo is not None:
+            self.slo.observe_policy_action(decision["t_us"])
+        if self.log.enabled:
+            self.log.emit(self.sim.now, POLICY_ACTION,
+                          node=decision["src"], dst=decision["dst"],
+                          action=decision["action"],
+                          mode=decision["mode"],
+                          t_us=decision["t_us"],
+                          policy=decision["policy"])
 
     # -- handlers (instantaneous; costs ride in reply latency) ---------
 
@@ -324,6 +495,18 @@ class _TrafficCore:
             self.part.shard_of(node), "kv_rep",
             (client, seq, hit, is_put, t0),
             latency=self._latency(server, node, rep_bytes, service),
+            nbytes=rep_bytes)
+
+    def handle_treq(self, payload) -> None:
+        """Traced-path request: the client planned the retransmit chain
+        and pre-folded service + trace delay + detour into ``svc``; the
+        reply rides the ordinary ``kv_rep`` path."""
+        server, node, client, seq, hit, is_put, t0, svc = payload
+        rep_bytes = _PUT_REP_BYTES if is_put else _GET_REP_BYTES
+        self.ctx.send(
+            self.part.shard_of(node), "kv_rep",
+            (client, seq, hit, is_put, t0),
+            latency=self._latency(server, node, rep_bytes, svc),
             nbytes=rep_bytes)
 
     def handle_rep(self, payload) -> None:
@@ -361,6 +544,7 @@ def build_traffic_shard(ctx: ShardContext, params: dict) -> None:
     ctx.set_nodes(lo, hi)
     core = _TrafficCore(ctx, p, part, lo, hi)
     ctx.on_message("kv_req", core.handle_req)
+    ctx.on_message("kv_treq", core.handle_treq)
     ctx.on_message("kv_rep", core.handle_rep)
     ctx.publish("hist", core.hist)
     ctx.publish("hist_hit", core.hist_hit)
@@ -370,6 +554,14 @@ def build_traffic_shard(ctx: ShardContext, params: dict) -> None:
     # The monitor object itself rides back (its final window state is
     # what matters; it is plain picklable Python).
     ctx.publish("slo", core.slo)
+    # Lossy-fabric outputs.  Each link's health and decisions live
+    # wholly on its source node's shard, so the merges (commutative
+    # counter sums, a summed-hash digest) are layout-invariant.  The
+    # engine itself holds an unpicklable callback; its decisions list
+    # (mutated in place, plain dicts) is what rides back.
+    ctx.publish("links", core.health)
+    ctx.publish("decisions",
+                core.policy.decisions if core.policy else None)
 
 
 def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
@@ -399,9 +591,12 @@ def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
     hist_hit = np.zeros(HIST_BINS, dtype=np.int64)
     hist_miss = np.zeros(HIST_BINS, dtype=np.int64)
     counts = {"requests": 0, "hits": 0, "misses": 0, "conns": 0,
-              "puts": 0, "gets": 0}
+              "puts": 0, "gets": 0, "failures": 0}
     digests = {}
     monitors = []
+    link_batches = []
+    decisions = []
+    have_policy = False
     for out in run.outputs:
         hist += np.asarray(out["hist"])
         hist_hit += np.asarray(out["hist_hit"])
@@ -411,7 +606,22 @@ def run_kv_traffic(params: TrafficParams, nshards: int = 1, *,
         digests.update(out["digests"])
         if out.get("slo") is not None:
             monitors.append(out["slo"])
+        if out.get("links") is not None:
+            link_batches.append(out["links"].link_totals())
+        if out.get("decisions") is not None:
+            have_policy = True
+            decisions.extend(out["decisions"])
     extra = {"run": run}
+    if link_batches:
+        extra["links"] = HealthTracker.merge_totals(link_batches)
+    if have_policy:
+        decisions.sort(key=lambda d: (d["t_us"], d["src"], d["dst"],
+                                      d["action"]))
+        extra["policy"] = {
+            "name": params.repair_policy,
+            "decisions": decisions,
+            "digest": decisions_digest(decisions),
+        }
     if monitors:
         windows = SLOMonitor.merge_window_dicts(
             [mon.export() for mon in monitors])

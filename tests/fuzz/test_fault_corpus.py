@@ -9,7 +9,8 @@ from program seeds, so every cell here is a fixed, replayable point.
 
 import pytest
 
-from repro.faults import PROFILES, FaultPlan, LinkFault
+from repro.faults import (POLICIES, PROFILES, FaultPlan, LinkFault,
+                          LinkRule, LinkTrace, TraceSegment)
 from repro.testing import (
     QUICK_MATRIX,
     config_by_name,
@@ -18,6 +19,14 @@ from repro.testing import (
 )
 
 CHAOS = PROFILES["chaos"]
+
+#: Every link flaps together: three 300 µs loss storms.  Wildcard
+#: endpoints so the shape bites whatever cluster size the generated
+#: program runs on.
+FLAPPING = LinkTrace(seed=11, name="flap-all", links=(
+    LinkRule(segments=tuple(
+        TraceSegment(t_start=s, t_end=s + 300.0, loss=0.5)
+        for s in (100.0, 1100.0, 2100.0))),))
 
 
 # ---------------------------------------------------------------------------
@@ -50,6 +59,18 @@ def test_pin_budget_exhaustion_converges_to_oracle():
     plan = FaultPlan(seed=9, pin_budgets=PROFILES["pin"].pin_budgets)
     divs = run_differential(program, configs=[config_by_name("gm-base")],
                             fault_plan=plan)
+    assert not divs, "\n\n".join(d.describe() for d in divs)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_flapping_trace_converges_under_each_policy(policy):
+    # The lossy-fabric leg: a time-evolving trace (loss storms on every
+    # link) under each repair policy.  Retries, detours, tuning and
+    # failover may reshape timing — answers must still match the
+    # oracle bit for bit.
+    program = generate_program(7, n_ops=100)
+    divs = run_differential(program, configs=[config_by_name("gm-base")],
+                            link_trace=FLAPPING, repair_policy=policy)
     assert not divs, "\n\n".join(d.describe() for d in divs)
 
 

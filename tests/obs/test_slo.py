@@ -165,3 +165,35 @@ def test_render_slo_mentions_flags_and_truncation():
     assert "15 more window(s)" in text
     quiet = render_slo(wins[:2], s, [])
     assert "no anomaly flags" in quiet
+
+
+def test_policy_actions_ride_windows_merge_and_summary():
+    mon = SLOMonitor(target_us=10.0, window_us=100.0)
+    mon.observe(5.0, 4.0)
+    mon.observe_policy_action(50.0)
+    mon.observe_policy_action(150.0)   # next window, no completions
+    windows = mon.export()
+    by_idx = {w["index"]: w for w in windows}
+    assert by_idx[0]["policy_actions"] == 1
+    assert by_idx[1]["policy_actions"] == 1
+    # merging shard exports sums the action counters
+    other = SLOMonitor(target_us=10.0, window_us=100.0)
+    other.observe_policy_action(60.0)
+    merged = SLOMonitor.merge_window_dicts([windows, other.export()])
+    m = {w["index"]: w for w in merged}
+    assert m[0]["policy_actions"] == 2
+    s = slo_summary(merged, target_us=10.0, window_us=100.0)
+    assert s["policy_actions"] == 3
+
+
+def test_detect_policy_flap():
+    calm = _win(0, 50, lat_bin=10)
+    busy = _win(1, 50, lat_bin=10)
+    busy["policy_actions"] = 4
+    mild = _win(2, 50, lat_bin=10)
+    mild["policy_actions"] = 3         # below the default threshold
+    flags = detect_anomalies([calm, busy, mild], target_us=10.0,
+                             window_us=100.0)
+    flaps = [f for f in flags if f["kind"] == "policy_flap"]
+    assert [f["index"] for f in flaps] == [1]
+    assert flaps[0]["value"] == 4.0
