@@ -29,13 +29,15 @@ Output lands in ``BENCH_kv_service.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.campaign.artifacts import atomic_write_json
+from repro.campaign.gate import (BaselineError, GateMetric,
+                                 check_baseline)
 from repro.workloads.kv_traffic import (TrafficParams, TrafficResult,
                                         run_kv_traffic)
 
@@ -129,6 +131,28 @@ def run_bench(quick: bool = False, nshards: int = 2,
     }
 
 
+def _hit_rates(doc: Dict) -> List[Tuple[str, float]]:
+    return [(f"s={r['zipf_s']}", r["hit_rate"])
+            for r in doc.get("results", [])]
+
+
+def _one_sided_speedup(doc: Dict) -> List[Tuple[str, float]]:
+    """miss_p50/hit_p50 per skew: how much the one-sided (cache-hit)
+    path beats the AM path — dimensionless, stable across scales."""
+    return [(f"s={r['zipf_s']}", r["miss_p50_us"] / r["hit_p50_us"])
+            for r in doc.get("results", []) if r["hit_p50_us"] > 0]
+
+
+#: ``--baseline`` regression gate (shared machinery in
+#: repro.campaign.gate).  Both metrics are dimensionless and hold
+#: within ~2% between quick and full scale, so CI can gate its quick
+#: run against the committed full-mode baseline.
+GATE_METRICS = (
+    GateMetric("hit_rate", _hit_rates),
+    GateMetric("one_sided_speedup", _one_sided_speedup),
+)
+
+
 def check(report: Dict) -> List[str]:
     """Self-consistency gates (run in both modes)."""
     problems = []
@@ -161,18 +185,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--shards", type=int, default=2,
                     help="shard count for the measured runs")
     ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--baseline", default=None,
+                    help="committed BENCH_kv_service.json to gate "
+                         "against (>20%% regression fails; missing or "
+                         "corrupt baseline is an error, not a skip)")
     args = ap.parse_args(argv)
 
     print(f"kv-service benchmark "
           f"({'quick' if args.quick else 'full'} scale)")
     report = run_bench(quick=args.quick, nshards=args.shards,
                        seed=args.seed)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
 
     problems = check(report)
+    if args.baseline:
+        try:
+            gate = check_baseline(report, args.baseline, GATE_METRICS)
+        except BaselineError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        for note in gate.notes:
+            print(f"  note: {note}")
+        problems.extend(gate.problems)
     for p in problems:
         print(f"FAIL: {p}")
     return 1 if problems else 0

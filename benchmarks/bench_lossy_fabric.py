@@ -29,18 +29,20 @@ Output lands in ``BENCH_lossy_fabric.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.campaign.artifacts import atomic_write_json
+from repro.campaign.gate import (BaselineError, GateMetric,
+                                 check_baseline)
 from repro.faults.policy import POLICIES
-from repro.faults.trace import make_trace
-from repro.workloads.kv_traffic import (HIST_BINS, TrafficParams,
-                                        TrafficResult, hist_edges,
-                                        hist_quantile, run_kv_traffic)
+from repro.faults.trace import COMPRESSED_TRACE_KW, make_trace
+from repro.workloads.kv_traffic import (TrafficParams, TrafficResult,
+                                        hist_cdf, hist_quantile,
+                                        run_kv_traffic)
 
 FULL_SHAPES = ("flap", "burst", "degrade", "gray")
 QUICK_SHAPES = ("flap", "degrade", "gray")
@@ -50,26 +52,9 @@ FULL_REQUESTS = 320_000       # ~20 ms of traffic, the full horizon
 QUICK_REQUESTS = 96_000       # ~6 ms against compressed traces
 REFEREE_REQUESTS = 24_000
 
-#: Generator overrides for quick mode: compress the shapes into the
-#: shorter traffic window so every policy still sees several episodes.
-QUICK_TRACE_KW = {
-    "flap": dict(horizon_us=6000.0, period_us=2000.0, down_us=800.0),
-    "burst": dict(horizon_us=6000.0, bursts=3),
-    "degrade": dict(horizon_us=6000.0),
-    "gray": dict(horizon_us=6000.0),
-}
-
-
-def _cdf(hist: np.ndarray) -> List[List[float]]:
-    """FCT CDF points [latency_us, cum_frac] at the upper edge of every
-    occupied histogram bin — a pure function of the merged counts."""
-    total = int(hist.sum())
-    if total == 0:
-        return []
-    edges = hist_edges()
-    cum = np.cumsum(hist)
-    return [[round(float(edges[i + 1]), 3), round(float(cum[i]) / total, 6)]
-            for i in range(HIST_BINS) if hist[i]]
+#: Quick mode compresses the trace shapes into the shorter traffic
+#: window (shared with the campaign's lossy cells).
+QUICK_TRACE_KW = COMPRESSED_TRACE_KW
 
 
 def _row(res: TrafficResult, policy: str, wall_s: float) -> Dict:
@@ -85,7 +70,7 @@ def _row(res: TrafficResult, policy: str, wall_s: float) -> Dict:
         "p99_us": round(q["p99_us"], 3),
         "decisions": len(pol.get("decisions", [])),
         "decisions_digest": pol.get("digest", 0),
-        "fct_cdf": _cdf(res.hist),
+        "fct_cdf": hist_cdf(res.hist),
         "wall_s": round(wall_s, 3),
     }
 
@@ -135,7 +120,7 @@ def run_bench(quick: bool = False, nshards: int = 2, seed: int = 9,
     baseline = {
         "p50_us": round(hist_quantile(healthy.hist, 0.50), 3),
         "p99_us": round(hist_quantile(healthy.hist, 0.99), 3),
-        "fct_cdf": _cdf(healthy.hist),
+        "fct_cdf": hist_cdf(healthy.hist),
         "wall_s": round(wall, 3),
     }
     print(f"  healthy baseline: p50={baseline['p50_us']}us "
@@ -184,6 +169,30 @@ def run_bench(quick: bool = False, nshards: int = 2, seed: int = 9,
     }
 
 
+def _policy_benefit(doc: Dict) -> List[Tuple[str, float]]:
+    """do_nothing p99 / disable_and_repair p99 per shape: how much the
+    repair policy buys at the tail.  Dimensionless — but quick mode
+    runs compressed traces, so it is only comparable within a mode."""
+    out = []
+    for shape, rows in sorted(doc.get("results", {}).items()):
+        by = {r["policy"]: r for r in rows}
+        if ("do_nothing" in by and "disable_and_repair" in by
+                and by["disable_and_repair"]["p99_us"] > 0):
+            out.append((shape, by["do_nothing"]["p99_us"]
+                        / by["disable_and_repair"]["p99_us"]))
+    return out
+
+
+#: ``--baseline`` regression gate (shared machinery in
+#: repro.campaign.gate).  Quick and full mode run different traces
+#: (compressed vs full horizon), so the metric is skipped with a note
+#: when the modes differ rather than compared across them.
+GATE_METRICS = (
+    GateMetric("policy_benefit_p99", _policy_benefit,
+               skip_cross_mode=True),
+)
+
+
 def check(report: Dict) -> List[str]:
     """Self-consistency gates (run in both modes)."""
     problems = []
@@ -222,18 +231,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="shard count for the measured runs")
     ap.add_argument("--seed", type=int, default=9)
     ap.add_argument("--trace-seed", type=int, default=7)
+    ap.add_argument("--baseline", default=None,
+                    help="committed BENCH_lossy_fabric.json to gate "
+                         "against (>20%% regression fails; missing or "
+                         "corrupt baseline is an error, not a skip)")
     args = ap.parse_args(argv)
 
     print(f"lossy-fabric benchmark "
           f"({'quick' if args.quick else 'full'} scale)")
     report = run_bench(quick=args.quick, nshards=args.shards,
                        seed=args.seed, trace_seed=args.trace_seed)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
 
     problems = check(report)
+    if args.baseline:
+        try:
+            gate = check_baseline(report, args.baseline, GATE_METRICS)
+        except BaselineError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        for note in gate.notes:
+            print(f"  note: {note}")
+        problems.extend(gate.problems)
     for p in problems:
         print(f"FAIL: {p}")
     return 1 if problems else 0

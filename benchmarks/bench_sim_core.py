@@ -36,12 +36,14 @@ absolute events/sec do not).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaign.artifacts import atomic_write_json
+from repro.campaign.gate import BaselineError, GateMetric
+from repro.campaign.gate import check_baseline as shared_check_baseline
 from repro.network.params import GM_MARENOSTRUM
 from repro.sim.resource import Resource
 from repro.sim.simulator import Simulator
@@ -407,53 +409,46 @@ def run_bench(quick: bool = False,
     }
 
 
+def _speedup_by_threads(doc: Dict) -> List[Tuple[str, float]]:
+    return [(f"nt={r['nthreads']}", r["speedup"])
+            for r in doc.get("results", [])]
+
+
+def _eps_trend(doc: Dict) -> List[Tuple[str, float]]:
+    """Events/sec trend across the thread sweep: eps(largest)/
+    eps(smallest).  The speedup ratio can stay flat while absolute
+    throughput collapses at high thread counts (both cores slowing
+    together) — this dimensionless ratio catches exactly that."""
+    if "pooled_eps_trend" in doc:
+        return [("trend", doc["pooled_eps_trend"])]
+    rows = doc.get("results", [])
+    if len(rows) < 2:
+        return []
+    return [("trend", rows[-1]["pooled_events_per_sec"]
+             / rows[0]["pooled_events_per_sec"])]
+
+
+#: The >20% regression gate, shared machinery in repro.campaign.gate:
+#: dimensionless ratios only (speedup, throughput trend) — they travel
+#: across machines, absolute events/sec does not.  Cross-mode runs (CI
+#: gates --quick against the committed full report) widen the
+#: tolerance to 35%: the quick mix is structurally more
+#: barrier-dominated, so its ratios sit lower with zero regression.
+GATE_METRICS = (
+    GateMetric("speedup", _speedup_by_threads),
+    GateMetric("pooled_eps_trend", _eps_trend),
+)
+
+
 def check_baseline(report: Dict, baseline_path: str,
                    tolerance: float = 0.20) -> List[str]:
-    """>20% regression gate against the committed baseline.
-
-    The gate compares the pooled/legacy *speedup ratio*, not absolute
-    events/sec: the ratio is dimensionless and survives moving between
-    the machine that committed the baseline and the CI runner.
-
-    When the run's mix mode differs from the baseline's (CI runs
-    --quick against the committed full-mode report), the tolerance
-    widens: the quick mix is structurally more barrier-dominated, so
-    its ratios sit below the full mix even with zero regression.
-    """
-    with open(baseline_path, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    if report.get("mode") != baseline.get("mode"):
-        tolerance = max(tolerance, 0.35)
-    problems = []
-    base = {r["nthreads"]: r for r in baseline.get("results", [])}
-    for r in report["results"]:
-        b = base.get(r["nthreads"])
-        if b is None:
-            continue
-        floor = b["speedup"] * (1.0 - tolerance)
-        if r["speedup"] < floor:
-            problems.append(
-                f"nt={r['nthreads']}: speedup {r['speedup']:.2f}x fell "
-                f">{tolerance:.0%} below baseline {b['speedup']:.2f}x "
-                f"(floor {floor:.2f}x)")
-    # Downtrend gate: events/sec must not *fall across thread counts*
-    # faster than the baseline's trend allows.  The speedup ratio above
-    # can stay flat while absolute throughput collapses at high thread
-    # counts (both cores slowing together) — this catches exactly that,
-    # still as a dimensionless ratio that travels across machines.
-    rows = report["results"]
-    if len(rows) >= 2 and "pooled_eps_trend" in baseline:
-        trend = (rows[-1]["pooled_events_per_sec"]
-                 / rows[0]["pooled_events_per_sec"])
-        trend_floor = baseline["pooled_eps_trend"] * (1.0 - tolerance)
-        if trend < trend_floor:
-            problems.append(
-                f"events/sec downtrend: eps({rows[-1]['nthreads']})/"
-                f"eps({rows[0]['nthreads']}) = {trend:.2f} fell "
-                f">{tolerance:.0%} below baseline "
-                f"{baseline['pooled_eps_trend']:.2f} "
-                f"(floor {trend_floor:.2f})")
-    return problems
+    """Gate this run against a committed baseline; raises
+    :class:`BaselineError` if the baseline is missing or corrupt."""
+    res = shared_check_baseline(report, baseline_path, GATE_METRICS,
+                                tolerance=tolerance)
+    for note in res.notes:
+        print(f"  note: {note}")
+    return res.problems
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -474,9 +469,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"sim-core benchmark ({'quick' if args.quick else 'full'} mix)")
     report = run_bench(quick=args.quick, repeats=args.repeats,
                        max_shards=args.shards)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
 
     rc = 0
@@ -506,8 +499,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  note: shard-scaling throughput check skipped "
               f"({sharded['cpus']} cpu(s) < "
               f"{sharded['shard_counts'][-1]} shards)")
-    if args.baseline and os.path.exists(args.baseline):
-        problems = check_baseline(report, args.baseline)
+    if args.baseline:
+        try:
+            problems = check_baseline(report, args.baseline)
+        except BaselineError as exc:
+            print(f"FAIL: {exc}")
+            return 1
         for p in problems:
             print(f"FAIL: {p}")
         if problems:

@@ -21,6 +21,9 @@ Usage::
     python -m repro run pointer --quick
     python -m repro run field --fault-profile chaos --fault-seed 7
 
+    python -m repro campaign --spec smoke
+    python -m repro campaign --spec service --workers 4
+
 ``--quick`` truncates size/scale sweeps for a fast look; the full
 sweeps match EXPERIMENTS.md.  ``fuzz`` runs the model-based
 differential harness (see :mod:`repro.testing`): each seed generates a
@@ -34,6 +37,10 @@ plus the latency-breakdown table (see :mod:`repro.obs` and
 docs/OBSERVABILITY.md).  ``run`` executes one DIS stressmark plainly
 and prints its summary — the quickest way to watch a fault profile
 (``--fault-profile``/``--fault-seed``, see docs/FAULTS.md) play out.
+``campaign`` runs a declared config matrix across worker processes
+with per-cell checkpoints: a killed campaign resumes without
+re-executing completed cells, merges into ``BENCH_*`` trajectory
+files and renders every figure in one command (docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -451,9 +458,9 @@ def _write_kvtraffic_artifacts(out_dir, res, slo) -> None:
     """Write the kvtraffic run directory ``python -m repro report``
     consumes: merged events (jsonl + validated Chrome trace),
     slo.json, shard_summary.json."""
-    import json
     import os
 
+    from repro.campaign.artifacts import atomic_write_json
     from repro.obs.export import dump_jsonl, export_chrome_sharded
     from repro.obs.shardlog import merge_shard_events
     from repro.runtime.metrics import RuntimeMetrics
@@ -469,17 +476,14 @@ def _write_kvtraffic_artifacts(out_dir, res, slo) -> None:
     print(f"  wrote {path} ({len(doc['traceEvents'])} chrome events, "
           "validated)")
     if slo is not None:
-        path = os.path.join(out_dir, "slo.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(slo, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        path = atomic_write_json(os.path.join(out_dir, "slo.json"),
+                                 slo, indent=1, sort_keys=True)
         print(f"  wrote {path}")
     metrics = RuntimeMetrics()
     metrics.attach_shards(run.metrics)
-    path = os.path.join(out_dir, "shard_summary.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(metrics.shard_summary(), fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    path = atomic_write_json(
+        os.path.join(out_dir, "shard_summary.json"),
+        metrics.shard_summary(), indent=1, sort_keys=True)
     print(f"  wrote {path}")
     links = res.extra.get("links")
     if links:
@@ -494,10 +498,8 @@ def _write_kvtraffic_artifacts(out_dir, res, slo) -> None:
             doc["policy"] = {"name": policy["name"],
                              "digest": policy["digest"],
                              "decisions": policy["decisions"]}
-        path = os.path.join(out_dir, "links.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        path = atomic_write_json(os.path.join(out_dir, "links.json"),
+                                 doc, indent=1, sort_keys=True)
         print(f"  wrote {path}")
 
 
@@ -516,6 +518,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "report":
         from repro.obs.report import report_main
         return report_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import campaign_main
+        return campaign_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from 'Scalable RDMA performance "
@@ -524,13 +529,15 @@ def main(argv=None) -> int:
                     choices=sorted(_runners(True)) + ["all", "fuzz",
                                                       "kvtraffic",
                                                       "trace", "run",
-                                                      "report"],
+                                                      "report",
+                                                      "campaign"],
                     help="which figure to regenerate ('fuzz' runs the "
                          "differential harness; 'kvtraffic' the KV "
                          "service traffic harness; 'trace' the flight "
                          "recorder; 'run' one stressmark; 'report' "
                          "renders a unified report from a traced run "
-                         "directory)")
+                         "directory; 'campaign' a checkpointed, "
+                         "resumable sweep matrix)")
     ap.add_argument("--quick", action="store_true",
                     help="truncate sweeps for a fast look")
     args = ap.parse_args(argv)

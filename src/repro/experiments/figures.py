@@ -301,8 +301,15 @@ def fig9(platform: str = "gm",
         for name, make, run in _FIG9_WORKLOADS:
             ci = repeat_ci(run, make(threads, nodes, machine, 0),
                            seeds=list(seeds))
-            row[name] = round(ci.mean, 1)
-            row[f"{name}_ci"] = round(ci.half_width, 1)
+            if ci.n == 0:
+                # Every repetition of this cell was degenerate
+                # (zero-elapsed baseline); report the hole instead of
+                # aborting the whole figure sweep.
+                row[name] = None
+                row[f"{name}_ci"] = None
+            else:
+                row[name] = round(ci.mean, 1)
+                row[f"{name}_ci"] = round(ci.half_width, 1)
         fig.add(**row)
     return fig
 

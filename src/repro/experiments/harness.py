@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, List, Sequence
 
-from repro.util.stats import ConfidenceInterval, improvement_pct, mean_ci95
+from repro.util.stats import (
+    ConfidenceInterval,
+    DegenerateBaselineError,
+    improvement_pct,
+    mean_ci95,
+)
 from repro.workloads.dis.common import DISResult
 
 
@@ -53,14 +58,29 @@ def paired_run(run_fn: Callable[..., DISResult], params) -> PairedRun:
 def repeat_ci(run_fn: Callable[..., DISResult], params,
               seeds: Sequence[int]) -> ConfidenceInterval:
     """Improvement % across repetitions with different seeds, as a
-    95% confidence interval (normal approximation, as in the paper)."""
+    95% confidence interval (normal approximation, as in the paper).
+
+    A repetition whose baseline ran in zero time (a degenerate cell —
+    e.g. a truncated sweep point where thread 0 does no measured work)
+    is *skipped* and counted in the interval's ``skipped`` field
+    rather than aborting the whole sweep; if every repetition is
+    degenerate the result has ``n == 0`` and a NaN mean.
+    """
     if not seeds:
         raise ValueError("repeat_ci needs at least one seed")
     samples: List[float] = []
+    skipped = 0
     for seed in seeds:
         pair = paired_run(run_fn, replace(params, seed=seed))
-        samples.append(pair.improvement_pct)
-    return mean_ci95(samples)
+        try:
+            samples.append(pair.improvement_pct)
+        except DegenerateBaselineError:
+            skipped += 1
+    if not samples:
+        return ConfidenceInterval(mean=float("nan"), half_width=0.0,
+                                  n=0, skipped=skipped)
+    ci = mean_ci95(samples)
+    return replace(ci, skipped=skipped) if skipped else ci
 
 
 def improvement_series(run_fn: Callable[..., DISResult], params_list,

@@ -6,13 +6,22 @@ point, one column per series) that EXPERIMENTS.md embeds verbatim.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
+
+from repro.util.stats import ConfidenceInterval
 
 
 def _fmt(value) -> str:
     if value is None:
         return "-"
+    if isinstance(value, ConfidenceInterval):
+        # Delegates to ConfidenceInterval.__str__, which marks n=1
+        # point estimates as "no CI" rather than "± 0.00".
+        return str(value)
     if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
         return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
     return str(value)
 

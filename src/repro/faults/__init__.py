@@ -50,6 +50,7 @@ from repro.faults.reliability import (
     ReliabilityError,
 )
 from repro.faults.trace import (
+    COMPRESSED_TRACE_KW,
     TRACE_SHAPES,
     LinkRule,
     LinkTrace,
@@ -71,6 +72,7 @@ __all__ = [
     "LinkFault",
     "LinkMode",
     "LinkRule",
+    "COMPRESSED_TRACE_KW",
     "LinkTrace",
     "NicStall",
     "NO_FAULT",

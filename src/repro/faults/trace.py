@@ -374,6 +374,17 @@ TRACE_SHAPES: Dict[str, Callable[..., LinkTrace]] = {
 }
 
 
+#: Generator overrides compressing each shape into a ~6 ms horizon so
+#: short (smoke/CI) traffic windows still see several episodes.
+#: Shared by the lossy-fabric bench and campaign lossy cells.
+COMPRESSED_TRACE_KW: Dict[str, Dict[str, float]] = {
+    "flap": dict(horizon_us=6000.0, period_us=2000.0, down_us=800.0),
+    "burst": dict(horizon_us=6000.0, bursts=3),
+    "degrade": dict(horizon_us=6000.0),
+    "gray": dict(horizon_us=6000.0),
+}
+
+
 def make_trace(shape: str, nnodes: int, seed: int = 0,
                **kwargs) -> LinkTrace:
     """Build a named scenario shape for an ``nnodes``-node cluster."""

@@ -14,7 +14,10 @@ summary:
   (sync rounds, channel traffic, per-shard clocks);
 * ``links.json``          — per-link health totals, exhausted
   requests and repair-policy decisions (from ``kvtraffic
-  --link-trace``).
+  --link-trace``);
+* ``campaign.json``       — a sweep campaign's manifest (from
+  ``python -m repro campaign``): per-cell statuses and the spec
+  that produced them.
 
 Output is ``report.txt`` (also printed) and ``report.json`` in the
 same directory, so a CI artifact of the run dir is self-describing.
@@ -204,11 +207,27 @@ def _render_links(doc: dict) -> List[str]:
     return lines
 
 
+def _render_campaign(doc: dict) -> List[str]:
+    """Per-cell status rollup from a campaign.json manifest."""
+    cells = doc.get("cells", [])
+    statuses: Dict[str, int] = {}
+    for c in cells:
+        statuses[c["status"]] = statuses.get(c["status"], 0) + 1
+    rollup = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+    lines = [f"campaign: {doc.get('campaign', '?')} — "
+             f"{doc.get('n_cells', len(cells))} cell(s), "
+             f"{doc.get('workers', '?')} worker(s); {rollup or 'none'}"]
+    bad = [c for c in cells if c["status"] not in ("ok",)]
+    for c in bad[:8]:
+        lines.append(f"  [{c['status']}] {c['id']}")
+    return lines
+
+
 def build_report(run_dir: str) -> dict:
     """Scan ``run_dir`` and assemble the unified report dict."""
     report: dict = {"run_dir": os.path.abspath(run_dir),
                     "events": [], "slo": None, "shard_summary": None,
-                    "links": None}
+                    "links": None, "campaign": None}
     for path in sorted(glob.glob(os.path.join(run_dir,
                                               "*.events.jsonl"))):
         report["events"].append(analyze_events(path))
@@ -224,6 +243,10 @@ def build_report(run_dir: str) -> dict:
     if os.path.exists(links_path):
         with open(links_path, encoding="utf-8") as fh:
             report["links"] = json.load(fh)
+    campaign_path = os.path.join(run_dir, "campaign.json")
+    if os.path.exists(campaign_path):
+        with open(campaign_path, encoding="utf-8") as fh:
+            report["campaign"] = json.load(fh)
     return report
 
 
@@ -243,11 +266,15 @@ def render_report(report: dict) -> str:
     if report.get("links"):
         lines.append("")
         lines.extend(_render_links(report["links"]))
+    if report.get("campaign"):
+        lines.append("")
+        lines.extend(_render_campaign(report["campaign"]))
     if not (report["events"] or report["slo"]
-            or report["shard_summary"] or report.get("links")):
+            or report["shard_summary"] or report.get("links")
+            or report.get("campaign")):
         lines.append("  (no recognized artifacts — expected "
-                     "*.events.jsonl, slo.json, shard_summary.json "
-                     "or links.json)")
+                     "*.events.jsonl, slo.json, shard_summary.json, "
+                     "links.json or campaign.json)")
     return "\n".join(lines)
 
 
@@ -274,11 +301,10 @@ def report_main(argv) -> int:
     os.makedirs(out_dir, exist_ok=True)
     txt_path = os.path.join(out_dir, "report.txt")
     json_path = os.path.join(out_dir, "report.json")
+    from repro.campaign.artifacts import atomic_write_json
     with open(txt_path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(json_path, report, indent=1, sort_keys=True)
     print(text)
     print(f"\n  wrote {txt_path}")
     print(f"  wrote {json_path}")

@@ -17,13 +17,29 @@ from typing import Iterable, Sequence
 Z_95 = 1.959963984540054
 
 
+class DegenerateBaselineError(ValueError):
+    """A baseline measurement was zero or negative, so the paper's
+    ``100 (Z - W) / Z`` metric is undefined for that cell.
+
+    Subclasses :class:`ValueError` for backward compatibility; sweep
+    code catches this specifically so one degenerate cell is reported
+    and skipped instead of aborting a whole figure or campaign.
+    """
+
+
 @dataclass(frozen=True)
 class ConfidenceInterval:
-    """A mean with a symmetric 95% confidence half-width."""
+    """A mean with a symmetric 95% confidence half-width.
+
+    ``skipped`` counts degenerate repetitions that contributed no
+    sample (see :class:`DegenerateBaselineError`); ``n`` counts only
+    the samples the interval is actually computed from.
+    """
 
     mean: float
     half_width: float
     n: int
+    skipped: int = 0
 
     @property
     def low(self) -> float:
@@ -33,7 +49,14 @@ class ConfidenceInterval:
     def high(self) -> float:
         return self.mean + self.half_width
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
+        # A single sample has no spread to estimate: rendering
+        # "± 0.00 (n=1)" would dress a point estimate up as a real
+        # interval, so mark it (and the no-data case) explicitly.
+        if self.n == 0:
+            return f"no data (n=0, skipped={self.skipped})"
+        if self.n == 1:
+            return f"{self.mean:.3f} (n=1, no CI)"
         return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.n})"
 
 
@@ -62,7 +85,9 @@ def improvement_pct(baseline: float, optimized: float) -> float:
     of Figure 6 goes as low as -200%.
     """
     if baseline <= 0:
-        raise ValueError(f"baseline must be positive, got {baseline!r}")
+        raise DegenerateBaselineError(
+            f"baseline must be positive, got {baseline!r} — the "
+            f"improvement metric 100*(Z-W)/Z is undefined for this cell")
     return 100.0 * (baseline - optimized) / baseline
 
 

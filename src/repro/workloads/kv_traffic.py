@@ -114,6 +114,21 @@ def hist_quantile(hist: np.ndarray, q: float) -> float:
     return float(hist_edges()[min(idx + 1, HIST_BINS)])
 
 
+def hist_cdf(hist: np.ndarray) -> list:
+    """FCT CDF points ``[latency_us, cum_frac]`` at the upper edge of
+    every occupied histogram bin — a pure function of the merged
+    counts, hence layout-invariant.  Shared by the lossy-fabric bench
+    and the campaign renderer (linkguardian-style per-policy CDFs)."""
+    total = int(hist.sum())
+    if total == 0:
+        return []
+    edges = hist_edges()
+    cum = np.cumsum(hist)
+    return [[round(float(edges[i + 1]), 3),
+             round(float(cum[i]) / total, 6)]
+            for i in range(HIST_BINS) if hist[i]]
+
+
 class ZipfianKeys:
     """Zipf(s) key draws over ``[0, nkeys)`` by inverse-CDF lookup —
     key 0 is the hottest; rank order *is* key order, so rank-frequency

@@ -1,0 +1,92 @@
+"""Campaign spec expansion: deterministic, collision-checked."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (SPECS, CampaignSpec, CellSpec,
+                                 resolve_spec)
+
+
+def _spec(**kw):
+    base = dict(name="t", legs=[{"kind": "noop",
+                                 "matrix": {"x": [1, 2]},
+                                 "seeds": [0, 1]}])
+    base.update(kw)
+    return CampaignSpec.from_dict(base)
+
+
+def test_expand_crosses_matrix_and_seeds():
+    cells = _spec().expand()
+    assert len(cells) == 4
+    assert [(c.param_dict()["x"], c.seed) for c in cells] == [
+        (1, 0), (1, 1), (2, 0), (2, 1)]
+
+
+def test_expand_is_deterministic():
+    a = [c.cell_id for c in _spec().expand()]
+    b = [c.cell_id for c in _spec().expand()]
+    assert a == b
+
+
+def test_cell_id_depends_on_params_and_seed():
+    a = CellSpec.make("noop", {"x": 1}, 0)
+    b = CellSpec.make("noop", {"x": 2}, 0)
+    c = CellSpec.make("noop", {"x": 1}, 1)
+    assert len({a.cell_id, b.cell_id, c.cell_id}) == 3
+    # Key order must not matter: the id is canonical.
+    d = CellSpec.make("noop", {"b": 2, "a": 1}, 0)
+    e = CellSpec.make("noop", {"a": 1, "b": 2}, 0)
+    assert d.cell_id == e.cell_id
+
+
+def test_overlapping_legs_rejected():
+    spec = _spec(legs=[
+        {"kind": "noop", "matrix": {"x": [1]}, "seeds": [0]},
+        {"kind": "noop", "matrix": {"x": [1]}, "seeds": [0]},
+    ])
+    with pytest.raises(ValueError, match="duplicate cell"):
+        spec.expand()
+
+
+def test_zero_cells_rejected():
+    with pytest.raises(ValueError, match="zero cells"):
+        _spec(legs=[{"kind": "noop", "matrix": {"x": []}}]).expand()
+
+
+def test_leg_without_kind_rejected():
+    with pytest.raises(ValueError, match="no 'kind'"):
+        _spec(legs=[{"matrix": {"x": [1]}}]).expand()
+
+
+def test_non_list_axis_rejected():
+    with pytest.raises(ValueError, match="must be a list"):
+        _spec(legs=[{"kind": "noop", "matrix": {"x": 3}}]).expand()
+
+
+def test_round_trip_through_json(tmp_path):
+    spec = _spec()
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json(), encoding="utf-8")
+    loaded = resolve_spec(str(path))
+    assert [c.cell_id for c in loaded.expand()] == [
+        c.cell_id for c in spec.expand()]
+
+
+def test_resolve_inline_json():
+    spec = resolve_spec(json.dumps(_spec().to_dict()))
+    assert len(spec.expand()) == 4
+
+
+def test_resolve_unknown_name_is_named_error():
+    with pytest.raises(ValueError, match="built-in specs"):
+        resolve_spec("no-such-spec")
+
+
+def test_builtin_specs_expand():
+    for name, make in SPECS.items():
+        cells = make().expand()
+        assert cells, name
+        assert len({c.cell_id for c in cells}) == len(cells), name
+    # The CI smoke matrix satisfies the >= 8 cell acceptance floor.
+    assert len(SPECS["smoke"]().expand()) >= 8

@@ -32,6 +32,20 @@ def test_render_table_alignment_and_empty():
     assert "1000" in text and "1.23" in text
 
 
+def test_render_table_degenerate_values():
+    from repro.util.stats import ConfidenceInterval
+
+    rows = [{"x": None, "y": float("nan"),
+             "z": ConfidenceInterval(mean=5.0, half_width=0.0, n=1)}]
+    text = render_table(rows, ["x", "y", "z"])
+    # Degenerate cells render as "-", and a single-seed interval is
+    # marked honestly rather than shown as "± 0.00".
+    cells = text.splitlines()[-1].split()
+    assert cells[0] == "-" and cells[1] == "-"
+    assert "(n=1, no CI)" in text
+    assert "±" not in text
+
+
 def test_fig6_get_columns_and_rows():
     fig = fig6_get(sizes=[1, 1024], reps=3)
     assert fig.columns == ["size_bytes", "gm_pct", "lapi_pct"]
